@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+
+	"caraoke/internal/experiments"
+)
+
+func experimentsRunFig04(seed int64) (string, error) {
+	r, err := experiments.RunFig04(seed)
+	if err != nil {
+		return "", err
+	}
+	return r.Table().Render(), nil
+}
+
+func printTbl05(seed int64) error {
+	r, err := experiments.RunTbl05(seed, 100000)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Table().Render())
+	return nil
+}
+
+func printFig08(seed int64) error {
+	r, err := experiments.RunFig08(seed, 16)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Table().Render())
+	return nil
+}
+
+func printFig11(seed int64, runs int) error {
+	r, err := experiments.RunFig11(seed, nil, runs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Table().Render())
+	return nil
+}
+
+func printFig12(seed int64) error {
+	r, err := experiments.RunFig12(seed, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Table().Render())
+	return nil
+}
+
+func printFig13(seed int64, runs int) error {
+	r, err := experiments.RunFig13(seed, runs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Table().Render())
+	return nil
+}
+
+func printFig14(seed int64, runs int) error {
+	r, err := experiments.RunFig14(seed, runs*5)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Table().Render())
+	return nil
+}
+
+func printFig15(seed int64, runs int) error {
+	r, err := experiments.RunFig15(seed, nil, runs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Table().Render())
+	return nil
+}
+
+func printFig16(seed int64, runs int) error {
+	r, err := experiments.RunFig16(seed, nil, runs, 200)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Table().Render())
+	return nil
+}
+
+func printTbl07() error {
+	fmt.Print(experiments.RunTbl07().Table().Render())
+	return nil
+}
+
+func printTbl09(seed int64) error {
+	fmt.Print(experiments.RunTbl09(seed).Table().Render())
+	return nil
+}
+
+func printTbl12() error {
+	r, err := experiments.RunTbl12()
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Table().Render())
+	return nil
+}

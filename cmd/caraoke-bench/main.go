@@ -1,0 +1,59 @@
+// caraoke-bench regenerates every table and figure of the paper's
+// evaluation (§12) and prints paper-vs-measured tables. Use -runs to
+// trade Monte-Carlo depth for time (the paper used up to 1000 runs per
+// point).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	runs := flag.Int("runs", 10, "Monte-Carlo runs per data point")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	only := flag.String("only", "", "run a single experiment (fig04, tbl05, fig08, fig11, fig12, fig13, fig14, fig15, fig16, tbl07, tbl09, tbl12)")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *only != "" && *only != name {
+			return
+		}
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println()
+	}
+
+	run("fig04", func() error {
+		r, err := experimentsRunFig04(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+		return nil
+	})
+	run("tbl05", func() error { return printTbl05(*seed) })
+	run("fig08", func() error { return printFig08(*seed) })
+	run("fig11", func() error { return printFig11(*seed, *runs) })
+	run("fig12", func() error { return printFig12(*seed) })
+	run("fig13", func() error { return printFig13(*seed, *runs) })
+	run("fig14", func() error { return printFig14(*seed, *runs) })
+	run("fig15", func() error { return printFig15(*seed, *runs) })
+	run("fig16", func() error { return printFig16(*seed, *runs) })
+	run("tbl07", func() error { return printTbl07() })
+	run("tbl09", func() error { return printTbl09(*seed) })
+	run("tbl12", func() error { return printTbl12() })
+
+	if *only != "" {
+		// Validate the -only flag did something.
+		switch *only {
+		case "fig04", "tbl05", "fig08", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tbl07", "tbl09", "tbl12":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+	}
+}

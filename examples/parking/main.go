@@ -1,0 +1,124 @@
+// Smart street-parking (§4, Fig 13 setting): a strip of six spots
+// between two readers on opposite sides of the street. Cars park, the
+// city localizes them to spots by intersecting the two readers' AoA
+// curves, detects occupancy, and answers a find-my-car query.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"caraoke"
+	"caraoke/internal/core"
+	"caraoke/internal/geom"
+	"caraoke/internal/traffic"
+)
+
+func main() {
+	params := caraoke.DefaultParams()
+	rng := rand.New(rand.NewSource(42))
+
+	// Two poles flanking the street; spots along the near curb.
+	r1, err := caraoke.NewReader(caraoke.ReaderConfig{
+		ID: 1, PoleBase: caraoke.V(0, -5, 0), PoleHeight: 3.8,
+		RoadDir: caraoke.V(1, 0, 0), TiltDeg: 60, NoiseSigma: 2e-6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r2, err := caraoke.NewReader(caraoke.ReaderConfig{
+		ID: 2, PoleBase: caraoke.V(36, 5, 0), PoleHeight: 3.8,
+		RoadDir: caraoke.V(1, 0, 0), TiltDeg: -60, NoiseSigma: 2e-6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	strip, err := traffic.NewParkingStrip(geom.V(8, -1.5, 0), geom.V(1, 0, 0), 6, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three cars park in spots 1, 3 and 4 (0-based 0, 2, 3).
+	cars := caraoke.NewTransponders(3, 42)
+	spots := []int{0, 2, 3}
+	for i, c := range cars {
+		c.Pos = strip.SpotCenter(spots[i])
+		if err := strip.Park(spots[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Each reader queries; spikes are matched across readers by CFO
+	// and localized on the road plane.
+	cap1, err := r1.Query(cars, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cap2, err := r2.Query(cars, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s1, err := caraoke.Analyze(cap1, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2, err := caraoke.Analyze(cap2, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	matches := core.MatchSpikesByCFO(s1, s2, 5e3)
+	region := geom.SearchRegion{XMin: -5, XMax: 45, YMin: -4.5, YMax: 4.5}
+
+	fmt.Println("detected parked cars:")
+	occupied := map[int]uint64{}
+	for _, m := range matches {
+		aoa1, err := core.EstimateAoA(s1[m[0]], r1.Array, params.Wavelength)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aoa2, err := core.EstimateAoA(s2[m[1]], r2.Array, params.Wavelength)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pos, err := core.LocalizeOnRoad(
+			core.ReaderView{Array: r1.Array, AoA: aoa1},
+			core.ReaderView{Array: r2.Array, AoA: aoa2},
+			0, region, geom.P(18, -1.5))
+		if err != nil {
+			log.Printf("localization failed for CFO %.1f kHz: %v", s1[m[0]].Freq/1e3, err)
+			continue
+		}
+		spot, dist := strip.NearestSpot(pos)
+		fmt.Printf("  CFO %7.1f kHz → position %v → spot %d (%.2f m from center)\n",
+			s1[m[0]].Freq/1e3, pos, spot+1, dist)
+		// Identify the car for billing (decode its id).
+		src := func() ([]complex128, error) {
+			c, err := r1.Query(cars, rng)
+			if err != nil {
+				return nil, err
+			}
+			return c.Antennas[0], nil
+		}
+		dec, err := caraoke.Decode(src, params, s1[m[0]].Freq, 100)
+		if err == nil {
+			occupied[spot] = dec.Frame.ID()
+			fmt.Printf("    billed account %#x\n", dec.Frame.ID())
+		}
+	}
+
+	fmt.Println("\noccupancy map:")
+	for i := 0; i < strip.NumSpots; i++ {
+		state := "free"
+		if _, ok := occupied[i]; ok {
+			state = "occupied"
+		}
+		fmt.Printf("  spot %d: %s\n", i+1, state)
+	}
+
+	// Find-my-car: where did car 2 park?
+	want := cars[1].ID()
+	for spot, id := range occupied {
+		if id == want {
+			fmt.Printf("\nfind-my-car(%#x): spot %d\n", want, spot+1)
+		}
+	}
+}

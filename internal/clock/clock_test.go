@@ -1,0 +1,81 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2015, 8, 17, 9, 0, 0, 0, time.UTC)
+
+func TestClockOffsetAndDrift(t *testing.T) {
+	c := New(50*time.Millisecond, 20, epoch) // 20 ppm
+	if got := c.Offset(epoch); got != 50*time.Millisecond {
+		t.Errorf("offset at epoch = %v", got)
+	}
+	// After 1000 s, 20 ppm drift adds 20 ms.
+	later := epoch.Add(1000 * time.Second)
+	want := 50*time.Millisecond + 20*time.Millisecond
+	if got := c.Offset(later); got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Errorf("offset after drift = %v, want ≈%v", got, want)
+	}
+}
+
+func TestClockAdjust(t *testing.T) {
+	c := New(100*time.Millisecond, 0, epoch)
+	c.Adjust(-40 * time.Millisecond)
+	if got := c.Offset(epoch); got != 60*time.Millisecond {
+		t.Errorf("offset after adjust = %v", got)
+	}
+}
+
+func TestSyncConvergesToTensOfMs(t *testing.T) {
+	// §6/§7: NTP over LTE synchronizes to within tens of ms.
+	rng := rand.New(rand.NewSource(1))
+	worst := time.Duration(0)
+	for trial := 0; trial < 50; trial++ {
+		c := New(time.Duration(rng.Intn(2000)-1000)*time.Millisecond, 30, epoch)
+		var resid time.Duration
+		var err error
+		for i := 0; i < 4; i++ {
+			resid, err = Sync(c, epoch.Add(time.Duration(i)*time.Minute), DefaultSyncParams(), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if resid < 0 {
+			resid = -resid
+		}
+		if resid > worst {
+			worst = resid
+		}
+	}
+	if worst > 60*time.Millisecond {
+		t.Errorf("worst residual offset %v, want tens of ms", worst)
+	}
+	if worst == 0 {
+		t.Error("sync is implausibly perfect (asymmetry not modeled?)")
+	}
+}
+
+func TestSyncRejectsBadParams(t *testing.T) {
+	c := New(0, 0, epoch)
+	if _, err := Sync(c, epoch, SyncParams{}, rand.New(rand.NewSource(2))); err == nil {
+		t.Error("zero RTT accepted")
+	}
+}
+
+func TestClockConcurrentAccess(t *testing.T) {
+	c := New(0, 10, epoch)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			c.Adjust(time.Microsecond)
+		}
+		close(done)
+	}()
+	for i := 0; i < 1000; i++ {
+		c.Now(epoch.Add(time.Duration(i) * time.Second))
+	}
+	<-done
+}

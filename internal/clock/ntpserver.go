@@ -1,0 +1,120 @@
+package clock
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file implements the readers' time synchronization as an actual
+// UDP request/response exchange (the paper's readers sync over their
+// LTE link with NTP, §6/§7). The wire format is a miniature NTP: the
+// client sends its transmit timestamp, the server echoes it along with
+// its receive and transmit timestamps, and the client computes the
+// standard offset estimate θ = ((t1−t0)+(t2−t3))/2.
+
+const packetSize = 3 * 8 // three unix-nano timestamps
+
+// TimeServer answers UDP time requests from a reference clock (the
+// city's NTP source). Now() supplies the server's time — time.Now for
+// production, a simulated clock in tests.
+type TimeServer struct {
+	Now func() time.Time
+
+	conn *net.UDPConn
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// Start binds the server to addr (e.g. "127.0.0.1:0") and serves until
+// Stop. It returns the bound address.
+func (s *TimeServer) Start(addr string) (net.Addr, error) {
+	if s.Now == nil {
+		s.Now = time.Now
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("clock: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("clock: %w", err)
+	}
+	s.conn = conn
+	s.wg.Add(1)
+	go s.serve()
+	return conn.LocalAddr(), nil
+}
+
+func (s *TimeServer) serve() {
+	defer s.wg.Done()
+	buf := make([]byte, packetSize)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		if n < 8 {
+			continue
+		}
+		recv := s.Now()
+		resp := make([]byte, packetSize)
+		copy(resp[:8], buf[:8]) // echo client t0
+		binary.LittleEndian.PutUint64(resp[8:16], uint64(recv.UnixNano()))
+		binary.LittleEndian.PutUint64(resp[16:24], uint64(s.Now().UnixNano()))
+		if _, err := s.conn.WriteToUDP(resp, peer); err != nil {
+			return
+		}
+	}
+}
+
+// Stop shuts the server down.
+func (s *TimeServer) Stop() {
+	s.once.Do(func() {
+		if s.conn != nil {
+			s.conn.Close()
+		}
+	})
+	s.wg.Wait()
+}
+
+// SyncOverUDP performs one NTP exchange against a TimeServer and slews
+// the local clock. `now` supplies the true wall time used to read the
+// local clock (time.Now outside simulations); timeout bounds the wait.
+// It returns the applied offset estimate θ.
+func SyncOverUDP(c *Clock, serverAddr string, now func() time.Time, timeout time.Duration) (time.Duration, error) {
+	if now == nil {
+		now = time.Now
+	}
+	conn, err := net.Dial("udp", serverAddr)
+	if err != nil {
+		return 0, fmt.Errorf("clock: %w", err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(now().Add(timeout)); err != nil {
+		return 0, err
+	}
+
+	t0 := c.Now(now())
+	req := make([]byte, 8)
+	binary.LittleEndian.PutUint64(req, uint64(t0.UnixNano()))
+	if _, err := conn.Write(req); err != nil {
+		return 0, err
+	}
+	resp := make([]byte, packetSize)
+	if _, err := conn.Read(resp); err != nil {
+		return 0, fmt.Errorf("clock: udp sync: %w", err)
+	}
+	t3 := c.Now(now())
+	echoT0 := time.Unix(0, int64(binary.LittleEndian.Uint64(resp[:8])))
+	if !echoT0.Equal(t0) {
+		return 0, fmt.Errorf("clock: response does not match request")
+	}
+	t1 := time.Unix(0, int64(binary.LittleEndian.Uint64(resp[8:16])))
+	t2 := time.Unix(0, int64(binary.LittleEndian.Uint64(resp[16:24])))
+	theta := (t1.Sub(t0) + t2.Sub(t3)) / 2
+	c.Adjust(theta)
+	return theta, nil
+}

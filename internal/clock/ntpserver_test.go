@@ -1,0 +1,79 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSyncOverUDPCorrectsOffset(t *testing.T) {
+	// Server with perfect time; client clock starts 250 ms off.
+	base := time.Date(2015, 8, 17, 9, 0, 0, 0, time.UTC)
+	srv := &TimeServer{Now: time.Now}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	c := New(250*time.Millisecond, 0, base)
+	theta, err := SyncOverUDP(c, addr.String(), time.Now, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The applied correction must be ≈ −250 ms (loopback RTT is µs).
+	if theta > -240*time.Millisecond || theta < -260*time.Millisecond {
+		t.Errorf("applied offset %v, want ≈−250 ms", theta)
+	}
+	resid := c.Offset(time.Now())
+	if resid < 0 {
+		resid = -resid
+	}
+	if resid > 10*time.Millisecond {
+		t.Errorf("residual offset %v after loopback sync", resid)
+	}
+}
+
+func TestSyncOverUDPRepeatedConvergence(t *testing.T) {
+	srv := &TimeServer{Now: time.Now}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	base := time.Now()
+	c := New(-2*time.Second, 50, base) // way off, drifting
+	for i := 0; i < 3; i++ {
+		if _, err := SyncOverUDP(c, addr.String(), time.Now, 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resid := c.Offset(time.Now())
+	if resid < 0 {
+		resid = -resid
+	}
+	if resid > 10*time.Millisecond {
+		t.Errorf("residual %v after three syncs", resid)
+	}
+}
+
+func TestSyncOverUDPTimeout(t *testing.T) {
+	// Nothing listening: the exchange must fail quickly, not hang.
+	c := New(0, 0, time.Now())
+	start := time.Now()
+	_, err := SyncOverUDP(c, "127.0.0.1:1", time.Now, 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("sync against dead server succeeded")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Error("timeout not respected")
+	}
+}
+
+func TestTimeServerStopIdempotent(t *testing.T) {
+	srv := &TimeServer{}
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Stop()
+	srv.Stop()
+}

@@ -1,0 +1,256 @@
+// Package collector implements the city-side backend: a TCP server
+// ingesting reader reports over the telemetry protocol, an in-memory
+// store, and the smart-city services the paper motivates — traffic
+// counting per intersection, parking occupancy, find-my-car, and speed
+// checks across reader pairs (§1, §4).
+package collector
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"caraoke/internal/telemetry"
+)
+
+// Store keeps the most recent reports per reader.
+type Store struct {
+	mu      sync.RWMutex
+	history map[uint32][]*telemetry.Report
+	keep    int
+}
+
+// NewStore creates a store retaining up to keep reports per reader.
+func NewStore(keep int) *Store {
+	if keep <= 0 {
+		keep = 1024
+	}
+	return &Store{history: make(map[uint32][]*telemetry.Report), keep: keep}
+}
+
+// Add ingests one report.
+func (s *Store) Add(r *telemetry.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := append(s.history[r.ReaderID], r)
+	if len(h) > s.keep {
+		h = h[len(h)-s.keep:]
+	}
+	s.history[r.ReaderID] = h
+}
+
+// Latest returns the most recent report from a reader, or nil.
+func (s *Store) Latest(readerID uint32) *telemetry.Report {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := s.history[readerID]
+	if len(h) == 0 {
+		return nil
+	}
+	return h[len(h)-1]
+}
+
+// Readers lists reader ids seen so far, sorted.
+func (s *Store) Readers() []uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]uint32, 0, len(s.history))
+	for id := range s.history {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// CountSeries returns (timestamp, count) pairs from a reader within
+// [from, to] — the raw material of the paper's Fig 12 traffic plot.
+func (s *Store) CountSeries(readerID uint32, from, to time.Time) (ts []time.Time, counts []int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, r := range s.history[readerID] {
+		if r.Timestamp.Before(from) || r.Timestamp.After(to) {
+			continue
+		}
+		ts = append(ts, r.Timestamp)
+		counts = append(counts, r.Count)
+	}
+	return ts, counts
+}
+
+// CarSighting is a find-my-car answer.
+type CarSighting struct {
+	ReaderID uint32
+	Seen     time.Time
+	FreqHz   float64
+}
+
+// FindCar locates the latest sighting of a decoded transponder id
+// across all readers (§4: "allowing a user who forgets where he parked
+// to query the system to locate his parked car").
+func (s *Store) FindCar(id uint64) (CarSighting, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best CarSighting
+	found := false
+	for readerID, h := range s.history {
+		for _, r := range h {
+			for _, sp := range r.Spikes {
+				if sp.DecodedID == id && (!found || r.Timestamp.After(best.Seen)) {
+					best = CarSighting{ReaderID: readerID, Seen: r.Timestamp, FreqHz: sp.FreqHz}
+					found = true
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+// SightingsByCFO returns, for each reader, its most recent spike whose
+// CFO is within tol of freq — the cross-reader association step used
+// by two-pole localization and speed checks (§6–§7).
+func (s *Store) SightingsByCFO(freq, tol float64) map[uint32]CarSighting {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[uint32]CarSighting)
+	for readerID, h := range s.history {
+		for i := len(h) - 1; i >= 0; i-- {
+			r := h[i]
+			hit := false
+			for _, sp := range r.Spikes {
+				d := sp.FreqHz - freq
+				if d < 0 {
+					d = -d
+				}
+				if d <= tol {
+					out[readerID] = CarSighting{ReaderID: readerID, Seen: r.Timestamp, FreqHz: sp.FreqHz}
+					hit = true
+					break
+				}
+			}
+			if hit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Server is the TCP ingest front end.
+type Server struct {
+	Store *Store
+	// Logf, if set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+}
+
+// NewServer creates a server around a store.
+func NewServer(store *Store) *Server {
+	return &Server{Store: store}
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves until Stop.
+// It returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collector: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.ln = ln
+	s.cancel = cancel
+	s.wg.Add(1)
+	go s.acceptLoop(ctx)
+	return ln.Addr(), nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+func (s *Server) acceptLoop(ctx context.Context) {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			s.logf("collector: accept: %v", err)
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(ctx, conn)
+		}()
+	}
+}
+
+// serveConn ingests frames from one reader connection. A corrupt frame
+// aborts the connection (the framing cannot be resynchronized safely);
+// the reader's client reconnects and retries.
+func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	go func() {
+		<-ctx.Done()
+		conn.Close() // unblock reads on shutdown
+	}()
+	for {
+		r, err := telemetry.ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && ctx.Err() == nil {
+				s.logf("collector: %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		s.Store.Add(r)
+	}
+}
+
+// Stop shuts the server down and waits for connections to drain.
+func (s *Server) Stop() {
+	if s.cancel != nil {
+		s.cancel()
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// Client is a reader-side uplink connection.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a collector.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("collector: dial: %w", err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Send uploads one report.
+func (c *Client) Send(r *telemetry.Report) error {
+	return telemetry.WriteFrame(c.conn, r)
+}
+
+// Close closes the uplink.
+func (c *Client) Close() error { return c.conn.Close() }

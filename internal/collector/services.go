@@ -1,0 +1,155 @@
+package collector
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"caraoke/internal/core"
+	"caraoke/internal/geom"
+)
+
+// SpeedService turns cross-reader sightings into speed measurements —
+// the city side of §7. Readers are registered with their pole
+// positions; cars are associated across readers by CFO and their
+// transit time gives the speed.
+type SpeedService struct {
+	store *Store
+	poles map[uint32]geom.Vec2 // reader id → road-plane pole position
+	// LimitMPS is the speed limit in m/s; Check flags faster cars.
+	LimitMPS float64
+}
+
+// NewSpeedService creates a service over a store.
+func NewSpeedService(store *Store, limitMPS float64) *SpeedService {
+	return &SpeedService{store: store, poles: make(map[uint32]geom.Vec2), LimitMPS: limitMPS}
+}
+
+// RegisterReader records a reader's pole position.
+func (s *SpeedService) RegisterReader(id uint32, pos geom.Vec2) {
+	s.poles[id] = pos
+}
+
+// Violation is a speeding detection.
+type Violation struct {
+	FreqHz    float64 // the car's CFO (identity follows via decoding)
+	SpeedMPS  float64
+	DecodedID uint64 // nonzero if some report carried the decoded id
+	From, To  uint32 // reader pair
+	At        time.Time
+}
+
+// Check estimates the speed of the car whose CFO is freq from its most
+// recent sightings at two registered readers, and reports whether it
+// exceeds the limit. Sightings older than maxAge are ignored (stale
+// associations would alias different cars with similar CFOs).
+func (s *SpeedService) Check(freq, tol float64, maxAge time.Duration, now time.Time) (Violation, bool, error) {
+	sightings := s.store.SightingsByCFO(freq, tol)
+	type hit struct {
+		id  uint32
+		sgt CarSighting
+		pos geom.Vec2
+	}
+	var hits []hit
+	for id, sgt := range sightings {
+		pos, ok := s.poles[id]
+		if !ok || now.Sub(sgt.Seen) > maxAge {
+			continue
+		}
+		hits = append(hits, hit{id, sgt, pos})
+	}
+	if len(hits) < 2 {
+		return Violation{}, false, fmt.Errorf("collector: %d usable sightings for CFO %.1f kHz, need 2", len(hits), freq/1e3)
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].sgt.Seen.Before(hits[j].sgt.Seen) })
+	a, b := hits[0], hits[len(hits)-1]
+	est, err := core.EstimateSpeed(
+		core.Observation{Pos: a.pos, Time: a.sgt.Seen, Freq: a.sgt.FreqHz},
+		core.Observation{Pos: b.pos, Time: b.sgt.Seen, Freq: b.sgt.FreqHz},
+	)
+	if err != nil {
+		return Violation{}, false, err
+	}
+	v := Violation{
+		FreqHz:   freq,
+		SpeedMPS: est.Speed,
+		From:     a.id,
+		To:       b.id,
+		At:       b.sgt.Seen,
+	}
+	v.DecodedID = s.decodedID(freq, tol)
+	return v, est.Speed > s.LimitMPS, nil
+}
+
+// decodedID looks for a decoded transponder id attached to any report
+// spike at this CFO.
+func (s *SpeedService) decodedID(freq, tol float64) uint64 {
+	s.store.mu.RLock()
+	defer s.store.mu.RUnlock()
+	for _, h := range s.store.history {
+		for _, r := range h {
+			for _, sp := range r.Spikes {
+				d := sp.FreqHz - freq
+				if d < 0 {
+					d = -d
+				}
+				if d <= tol && sp.DecodedID != 0 {
+					return sp.DecodedID
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// ParkingService tracks per-spot occupancy from decoded parked-car
+// sightings — the billing side of the paper's smart street-parking.
+type ParkingService struct {
+	// occupancy maps spot index → decoded transponder id.
+	occupancy map[int]uint64
+	since     map[int]time.Time
+}
+
+// NewParkingService creates an empty occupancy tracker.
+func NewParkingService() *ParkingService {
+	return &ParkingService{occupancy: make(map[int]uint64), since: make(map[int]time.Time)}
+}
+
+// Arrive records a car parking in a spot.
+func (p *ParkingService) Arrive(spot int, id uint64, at time.Time) error {
+	if cur, ok := p.occupancy[spot]; ok {
+		return fmt.Errorf("collector: spot %d already held by %#x", spot, cur)
+	}
+	p.occupancy[spot] = id
+	p.since[spot] = at
+	return nil
+}
+
+// Depart closes a parking session and returns the billable duration.
+func (p *ParkingService) Depart(spot int, at time.Time) (uint64, time.Duration, error) {
+	id, ok := p.occupancy[spot]
+	if !ok {
+		return 0, 0, fmt.Errorf("collector: spot %d is empty", spot)
+	}
+	dur := at.Sub(p.since[spot])
+	delete(p.occupancy, spot)
+	delete(p.since, spot)
+	return id, dur, nil
+}
+
+// Occupied reports the spot's state and holder.
+func (p *ParkingService) Occupied(spot int) (uint64, bool) {
+	id, ok := p.occupancy[spot]
+	return id, ok
+}
+
+// FindCar returns the spot holding the given id, if any — the paper's
+// "query the system to locate his parked car".
+func (p *ParkingService) FindCar(id uint64) (int, bool) {
+	for spot, holder := range p.occupancy {
+		if holder == id {
+			return spot, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DecodeAll recovers every colliding transponder's frame from one
+// shared sequence of collision captures. §12.4 makes the point this
+// function implements: "50 ms is also the time to decode all 10
+// transponders since one does not need to collect new collisions for
+// individual transponders. One only needs to compensate for the CFO
+// and channel of each of the transponders differently."
+//
+// The reader keeps querying (up to maxQueries); after each new
+// collision every still-undecoded target re-attempts its decode from
+// the shared set. The result maps each requested CFO to its decode,
+// with Queries recording how many collisions that id needed.
+func DecodeAll(src CaptureSource, sampleRate float64, targetFreqs []float64, maxQueries int) (map[float64]DecodeResult, error) {
+	if maxQueries <= 0 {
+		return nil, fmt.Errorf("core: maxQueries %d must be positive", maxQueries)
+	}
+	if len(targetFreqs) == 0 {
+		return nil, fmt.Errorf("core: no targets")
+	}
+	decs := make([]*Decoder, len(targetFreqs))
+	for i, f := range targetFreqs {
+		decs[i] = NewDecoder(sampleRate, f)
+	}
+	out := make(map[float64]DecodeResult, len(targetFreqs))
+	remaining := len(targetFreqs)
+	for q := 0; q < maxQueries && remaining > 0; q++ {
+		capture, err := src()
+		if err != nil {
+			return nil, fmt.Errorf("core: query %d: %w", q, err)
+		}
+		for i, dec := range decs {
+			if dec == nil {
+				continue
+			}
+			if err := dec.Add(capture); err != nil {
+				// This target's spike vanished (e.g. the car left);
+				// keep the others going.
+				continue
+			}
+			f, err := dec.TryDecode()
+			if err == nil {
+				out[targetFreqs[i]] = DecodeResult{Frame: f, Queries: dec.N()}
+				decs[i] = nil
+				remaining--
+				continue
+			}
+			if !errors.Is(err, ErrNeedMoreCollisions) {
+				return nil, err
+			}
+		}
+	}
+	if remaining > 0 {
+		return out, fmt.Errorf("core: %d of %d ids undecoded after %d collisions: %w",
+			remaining, len(targetFreqs), maxQueries, ErrNeedMoreCollisions)
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"caraoke/internal/phy"
+)
+
+func TestDecodeAllSharedCollisions(t *testing.T) {
+	// §12.4: decoding all colliders costs the same collisions as
+	// decoding one — the captures are shared, only the CFO/channel
+	// compensation differs.
+	s := newTestScene(t, 701)
+	devs := s.placedDevices(4)
+	for i, d := range devs {
+		d.CarrierHz = phy.BandLow + 200e3 + float64(i)*250e3
+	}
+	spikes, err := AnalyzeCaptures(s.collideQueries(devs, 5), s.param)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spikes) != 4 {
+		t.Fatalf("%d spikes", len(spikes))
+	}
+	queries := 0
+	src := func() ([]complex128, error) {
+		queries++
+		return s.collide(devs).Antennas[0], nil
+	}
+	freqs := make([]float64, len(spikes))
+	for i, sp := range spikes {
+		freqs[i] = sp.Freq
+	}
+	out, err := DecodeAll(src, s.param.SampleRate, freqs, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("decoded %d of 4", len(out))
+	}
+	// Every decoded id must match a device, each exactly once.
+	got := map[uint64]bool{}
+	for _, res := range out {
+		got[res.Frame.ID()] = true
+	}
+	for _, d := range devs {
+		if !got[d.ID()] {
+			t.Errorf("device %#x not decoded", d.ID())
+		}
+	}
+	// The shared-collision property: total queries issued is the max
+	// per-id need, not the sum.
+	var worst int
+	for _, res := range out {
+		if res.Queries > worst {
+			worst = res.Queries
+		}
+	}
+	if queries != worst {
+		t.Errorf("issued %d queries, slowest id needed %d — collisions were not shared", queries, worst)
+	}
+}
+
+func TestDecodeAllErrors(t *testing.T) {
+	src := func() ([]complex128, error) { return make([]complex128, 2048), nil }
+	if _, err := DecodeAll(src, 4e6, []float64{1e5}, 0); err == nil {
+		t.Error("zero maxQueries accepted")
+	}
+	if _, err := DecodeAll(src, 4e6, nil, 5); err == nil {
+		t.Error("no targets accepted")
+	}
+	// All-zero captures never decode: partial result plus error.
+	out, err := DecodeAll(src, 4e6, []float64{1e5}, 3)
+	if err == nil {
+		t.Error("undecodable targets reported as success")
+	}
+	if len(out) != 0 {
+		t.Errorf("%d unexpected decodes", len(out))
+	}
+}

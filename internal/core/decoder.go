@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"caraoke/internal/dsp"
+	"caraoke/internal/phy"
+)
+
+// Decoder recovers one transponder's frame from repeated collision
+// captures by coherent combining (§8). For each query's capture it
+// estimates the target's per-query channel from its CFO spike, removes
+// the CFO rotation, divides by the channel, and accumulates: the
+// target's OOK envelope adds coherently (amplitude N after N queries)
+// while every other transponder — whose oscillator phase re-randomizes
+// at each reply — adds with random phases and averages out (√N).
+// Decoding succeeds when the accumulated envelope demodulates into a
+// frame that passes its checksum.
+type Decoder struct {
+	sampleRate float64
+	target     float64 // refined CFO of the target transponder, Hz
+	sum        []complex128
+	n          int
+}
+
+// ErrNeedMoreCollisions is returned by TryDecode while the accumulated
+// SNR is still too low for the frame to pass its checksum.
+var ErrNeedMoreCollisions = errors.New("core: frame not yet decodable, combine more collisions")
+
+// NewDecoder creates a decoder for the transponder whose CFO spike sits
+// at targetFreq Hz (use the refined frequency from AnalyzeCapture).
+func NewDecoder(sampleRate, targetFreq float64) *Decoder {
+	return &Decoder{sampleRate: sampleRate, target: targetFreq}
+}
+
+// N returns how many collision captures have been combined.
+func (d *Decoder) N() int { return d.n }
+
+// Add combines one more collision capture (a single antenna's stream,
+// frame-aligned: the response begins at sample 0).
+func (d *Decoder) Add(capture []complex128) error {
+	if len(capture) == 0 {
+		return fmt.Errorf("core: empty capture")
+	}
+	if d.sum == nil {
+		d.sum = make([]complex128, len(capture))
+	}
+	if len(capture) != len(d.sum) {
+		return fmt.Errorf("core: capture length %d differs from first capture %d", len(capture), len(d.sum))
+	}
+	// Per-query channel estimate from the spike: ĥ = 2·R(Δf)/N.
+	spike := dsp.Goertzel(capture, d.target/d.sampleRate)
+	h := spike * complex(2/float64(len(capture)), 0)
+	if cmplx.Abs(h) == 0 {
+		return fmt.Errorf("core: target spike absent from capture")
+	}
+	// Accumulate r(t)·e^{−j2πΔf·t}/ĥ — §8's averaging step.
+	rot := cmplx.Exp(complex(0, -2*math.Pi*d.target/d.sampleRate))
+	w := complex(1, 0)
+	inv := 1 / h
+	for i, s := range capture {
+		d.sum[i] += s * w * inv
+		w *= rot
+		if i&1023 == 1023 {
+			w /= complex(cmplx.Abs(w), 0)
+		}
+	}
+	d.n++
+	return nil
+}
+
+// TryDecode demodulates the accumulated signal. It returns the frame on
+// checksum success, or ErrNeedMoreCollisions if the residual
+// interference still flips bits.
+func (d *Decoder) TryDecode() (*phy.Frame, error) {
+	if d.n == 0 {
+		return nil, fmt.Errorf("core: no captures combined yet")
+	}
+	// After channel correction the target's contribution is real and
+	// non-negative (its envelope); interference is complex residue.
+	env := make([]float64, len(d.sum))
+	for i, s := range d.sum {
+		env[i] = real(s)
+	}
+	f, err := phy.DemodulateFrame(env, d.sampleRate)
+	if err != nil {
+		if errors.Is(err, phy.ErrBadCRC) || errors.Is(err, phy.ErrBadPreamble) {
+			return nil, fmt.Errorf("%w (after %d collisions): %v", ErrNeedMoreCollisions, d.n, err)
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+// CaptureSource yields successive collision captures, one per reader
+// query. Implementations trigger a query and return the digitized
+// response window (a single antenna stream).
+type CaptureSource func() ([]complex128, error)
+
+// DecodeResult reports a successful collision decode.
+type DecodeResult struct {
+	Frame *phy.Frame
+	// Queries is the number of collisions that had to be combined.
+	// With queries spaced phy.QueryPeriod apart, identification time
+	// is Queries × 1 ms (Fig 16's y-axis).
+	Queries int
+}
+
+// DecodeCollision repeatedly queries via src and coherently combines
+// the collisions until the target transponder's frame passes its
+// checksum or maxQueries is exhausted.
+func DecodeCollision(src CaptureSource, sampleRate, targetFreq float64, maxQueries int) (DecodeResult, error) {
+	if maxQueries <= 0 {
+		return DecodeResult{}, fmt.Errorf("core: maxQueries %d must be positive", maxQueries)
+	}
+	dec := NewDecoder(sampleRate, targetFreq)
+	for q := 0; q < maxQueries; q++ {
+		capture, err := src()
+		if err != nil {
+			return DecodeResult{}, fmt.Errorf("core: query %d: %w", q, err)
+		}
+		if err := dec.Add(capture); err != nil {
+			return DecodeResult{}, fmt.Errorf("core: query %d: %w", q, err)
+		}
+		f, err := dec.TryDecode()
+		if err == nil {
+			return DecodeResult{Frame: f, Queries: dec.N()}, nil
+		}
+		if !errors.Is(err, ErrNeedMoreCollisions) {
+			return DecodeResult{}, err
+		}
+	}
+	return DecodeResult{}, fmt.Errorf("core: frame not decodable after %d collisions: %w", maxQueries, ErrNeedMoreCollisions)
+}

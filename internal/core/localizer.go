@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"caraoke/internal/geom"
+	"caraoke/internal/rfsim"
+)
+
+// AoAMeasurement is a per-transponder angle-of-arrival estimate from
+// one reader (§6): the spatial angle between the chosen antenna
+// baseline and the direction to the transponder.
+type AoAMeasurement struct {
+	Freq    float64    // transponder CFO, Hz
+	Alpha   float64    // spatial angle, radians
+	Pair    rfsim.Pair // antenna pair used
+	Quality float64    // |sin α| of the chosen pair (broadside-ness)
+	Clipped bool       // cos α clipped into [−1,1] under noise
+}
+
+// EstimateAoA computes the AoA of one spike using the given array. For
+// every antenna pair it converts the spike's inter-antenna channel
+// phase into an angle (Eq 10) and returns the measurement from the pair
+// whose angle lies closest to broadside, where sensitivity to phase
+// noise is lowest — the paper's Fig 6 pair-switching rule.
+func EstimateAoA(s Spike, arr rfsim.Array, wavelength float64) (AoAMeasurement, error) {
+	if len(s.Channels) != len(arr.Elements) {
+		return AoAMeasurement{}, fmt.Errorf("core: spike has %d channels, array has %d elements",
+			len(s.Channels), len(arr.Elements))
+	}
+	if len(arr.Elements) < 2 {
+		return AoAMeasurement{}, fmt.Errorf("core: AoA needs at least two antennas")
+	}
+	best := AoAMeasurement{Quality: -1}
+	for _, pair := range arr.Pairs() {
+		hi, hj := s.Channels[pair.I], s.Channels[pair.J]
+		if cmplx.Abs(hi) == 0 || cmplx.Abs(hj) == 0 {
+			continue
+		}
+		dphi := geom.WrapPhase(cmplx.Phase(hj / hi))
+		spacing := arr.Axis(pair).Norm()
+		alpha, clipped := geom.AoAFromPhase(dphi, spacing, wavelength)
+		q := geom.BroadsideQuality(alpha)
+		if q > best.Quality {
+			best = AoAMeasurement{
+				Freq:    s.Freq,
+				Alpha:   alpha,
+				Pair:    pair,
+				Quality: q,
+				Clipped: clipped,
+			}
+		}
+	}
+	if best.Quality < 0 {
+		return AoAMeasurement{}, fmt.Errorf("core: no usable antenna pair (all channels zero)")
+	}
+	return best, nil
+}
+
+// Cone converts an AoA measurement into the spatial cone of positions
+// consistent with it (§6, Fig 7): apex at the pair midpoint, axis along
+// the pair baseline, half-angle α.
+func (m AoAMeasurement) Cone(arr rfsim.Array) geom.Cone {
+	return geom.Cone{
+		Apex:  arr.Midpoint(m.Pair),
+		Axis:  arr.Axis(m.Pair),
+		Alpha: m.Alpha,
+	}
+}
+
+// ReaderView pairs one reader's array geometry with the AoA it measured
+// for some transponder.
+type ReaderView struct {
+	Array rfsim.Array
+	AoA   AoAMeasurement
+}
+
+// LocalizeOnRoad intersects the road-plane curves of two readers'
+// AoA measurements of the same transponder (matched by CFO) and
+// returns the transponder's road position. Of the up-to-four curve
+// intersections, candidates outside the region are discarded; if more
+// than one survives, the one closest to `hint` wins (callers typically
+// pass the road center or the previous position of a tracked car).
+func LocalizeOnRoad(v1, v2 ReaderView, zPlane float64, region geom.SearchRegion, hint geom.Vec2) (geom.Vec2, error) {
+	c1 := v1.AoA.Cone(v1.Array)
+	c2 := v2.AoA.Cone(v2.Array)
+	pts := geom.LocalizeTwoReaders(c1, c2, zPlane, region)
+	if len(pts) == 0 {
+		return geom.Vec2{}, fmt.Errorf("core: AoA curves do not intersect inside the search region")
+	}
+	best := pts[0]
+	bestD := best.Dist(hint)
+	for _, p := range pts[1:] {
+		if d := p.Dist(hint); d < bestD {
+			best, bestD = p, d
+		}
+	}
+	return best, nil
+}
+
+// MatchSpikesByCFO pairs spikes observed by two readers that belong to
+// the same transponder: CFOs within tol Hz of each other. Each spike
+// matches at most once; pairs are formed greedily from the closest CFO
+// difference upward.
+func MatchSpikesByCFO(a, b []Spike, tol float64) [][2]int {
+	type cand struct {
+		i, j int
+		d    float64
+	}
+	var cands []cand
+	for i := range a {
+		for j := range b {
+			if d := math.Abs(a[i].Freq - b[j].Freq); d <= tol {
+				cands = append(cands, cand{i, j, d})
+			}
+		}
+	}
+	// Greedy closest-first matching.
+	for x := 1; x < len(cands); x++ {
+		for y := x; y > 0 && cands[y].d < cands[y-1].d; y-- {
+			cands[y], cands[y-1] = cands[y-1], cands[y]
+		}
+	}
+	usedA := make(map[int]bool)
+	usedB := make(map[int]bool)
+	var out [][2]int
+	for _, c := range cands {
+		if usedA[c.i] || usedB[c.j] {
+			continue
+		}
+		usedA[c.i] = true
+		usedB[c.j] = true
+		out = append(out, [2]int{c.i, c.j})
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"caraoke/internal/dsp"
+	"caraoke/internal/rfsim"
+)
+
+// AnalyzeCaptures extracts transponder spikes from several collision
+// captures of the *same* scene (successive reader queries). The §10
+// duty cycle gives a reader ~10 queries per 10 ms active window, and
+// using all of them sharpens every stage of the pipeline:
+//
+//   - Magnitude spectra average incoherently across queries. The
+//     carrier spikes are stable (|h| does not change between queries)
+//     while each transponder's OOK data contributes an independent
+//     realization per query — its Rayleigh maxima shrink by √K
+//     relative to the spikes, which is what keeps counting accurate at
+//     40+ colliders.
+//   - The §5 dual-window occupancy test is re-run on every capture and
+//     majority-voted. Oscillator phases re-randomize at each reply, so
+//     a same-bin pair that happens to beat invisibly in one query is
+//     caught in the others.
+//
+// Channels are taken from the last capture (callers doing AoA on a
+// specific query should use AnalyzeCapture on that capture).
+func AnalyzeCaptures(mcs []*rfsim.MultiCapture, p Params) ([]Spike, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(mcs) == 0 {
+		return nil, fmt.Errorf("core: no captures")
+	}
+	if len(mcs) == 1 {
+		return AnalyzeCapture(mcs[0], p)
+	}
+	n := 0
+	for i, mc := range mcs {
+		if mc == nil || len(mc.Antennas) == 0 || len(mc.Antennas[0]) == 0 {
+			return nil, fmt.Errorf("core: capture %d is empty", i)
+		}
+		if n == 0 {
+			n = len(mc.Antennas[0])
+		} else if len(mc.Antennas[0]) != n {
+			return nil, fmt.Errorf("core: capture %d length %d differs from %d", i, len(mc.Antennas[0]), n)
+		}
+	}
+	// Root-mean-square magnitude spectrum across queries.
+	acc := make([]float64, n)
+	for _, mc := range mcs {
+		spec := dsp.NewSpectrum(mc.Antennas[0], p.SampleRate)
+		for k, v := range spec.Bins {
+			re, im := real(v), imag(v)
+			acc[k] += re*re + im*im
+		}
+	}
+	avg := &dsp.Spectrum{Bins: make([]complex128, n), SampleRate: p.SampleRate}
+	inv := 1 / float64(len(mcs))
+	for k, pw := range acc {
+		avg.Bins[k] = complex(math.Sqrt(pw*inv), 0)
+	}
+
+	// On a K-query-averaged spectrum the floor is smooth (variance
+	// shrinks with K), so the sensitive detector is a MAD-scaled
+	// excess over the local median rather than a magnitude ratio: a
+	// weak carrier at a large collision's floor adds only ~2.5× the
+	// local level, but tens of MADs of the smoothed floor.
+	peakP := p.Peaks
+	peakP.Threshold = 2
+	peakP.Sharpness = 1 // ratio test off; ExcessSigma selects
+	peakP.ExcessSigma = 5
+	peakP.SharpRadius = 16
+	peaks := dsp.FindPeaks(avg, peakP)
+	if p.ClockImageReject {
+		peaks = rejectClockImages(peaks, avg.BinWidth(), p.ClockImageRatio)
+	}
+
+	last := mcs[len(mcs)-1]
+	binW := avg.BinWidth()
+	spikes := make([]Spike, 0, len(peaks))
+	for _, pk := range peaks {
+		// Median refined frequency across captures.
+		freqs := make([]float64, 0, len(mcs))
+		for _, mc := range mcs {
+			freqs = append(freqs, dsp.RefineFreq(mc.Antennas[0], p.SampleRate, pk))
+		}
+		sort.Float64s(freqs)
+		freq := freqs[len(freqs)/2]
+
+		s := Spike{
+			Freq:     freq,
+			Bin:      pk.Bin,
+			Mag:      pk.Mag,
+			Channels: make([]complex128, len(last.Antennas)),
+		}
+		scale := complex(2/float64(n), 0)
+		for a, stream := range last.Antennas {
+			s.Channels[a] = dsp.Goertzel(stream, freq/p.SampleRate) * scale
+		}
+		// Vote over the per-capture occupancy tests. Oscillator phases
+		// re-randomize between queries, so a pair invisible in one
+		// query beats in others; per-capture detection falls in large
+		// collisions, while the per-capture false-positive rate stays
+		// low — hence a 40 % quorum rather than a strict majority.
+		votes := 0
+		for _, mc := range mcs {
+			if dsp.ClassifyBin(mc.Antennas[0], p.SampleRate, freq, p.Occupancy) == dsp.OccupancyMultiple {
+				votes++
+			}
+		}
+		s.Multiple = 10*votes >= 4*len(mcs)
+		// Shoulder test: the DFT of a lone carrier has an exact null
+		// ±1 bin from its refined frequency, while a second tone merged
+		// into the same peak fills that null. RMS-average across
+		// captures (CFOs are fixed; only phases change), with the
+		// threshold raised above the collision floor for weak spikes.
+		if !s.Multiple {
+			var c2, s2 float64
+			for _, mc := range mcs {
+				st := mc.Antennas[0]
+				c := cmplx.Abs(dsp.Goertzel(st, freq/p.SampleRate))
+				lo := cmplx.Abs(dsp.Goertzel(st, (freq-binW)/p.SampleRate))
+				hi := cmplx.Abs(dsp.Goertzel(st, (freq+binW)/p.SampleRate))
+				c2 += c * c
+				if lo > hi {
+					s2 += lo * lo
+				} else {
+					s2 += hi * hi
+				}
+			}
+			if c2 > 0 {
+				shoulder := math.Sqrt(s2 / c2)
+				// The expected shoulder of a lone carrier is set by
+				// the local collision floor (max of two Rayleigh draws
+				// ≈ 1.3× the per-bin level); require 2× headroom above
+				// it before declaring a merged companion.
+				local := localFloor(avg, pk.Bin)
+				thresh := 0.45
+				if adaptive := 2.6 * local / math.Sqrt(c2/float64(len(mcs))); adaptive > thresh {
+					thresh = adaptive
+				}
+				if shoulder > thresh {
+					s.Multiple = true
+				}
+			}
+		}
+		// Tone-purity vote for weak spikes that look single: a carrier
+		// is pure in every capture; a data-floor maximum is not.
+		if !s.Multiple && pk.Mag < p.PurityMaxRel*strongestMag(peaks) && p.PurityMin > 0 {
+			pure := 0
+			for _, mc := range mcs {
+				if purity(mc.Antennas[0], p.SampleRate, freq, binW) >= p.PurityMin {
+					pure++
+				}
+			}
+			if pure*2 <= len(mcs) {
+				continue
+			}
+		}
+		spikes = append(spikes, s)
+	}
+	suppressResolvedNeighbors(spikes, binW, p.Occupancy.WindowFrac)
+	return spikes, nil
+}
+
+// localFloor estimates the collision floor near bin k as the median
+// magnitude of the bins 3–16 away on each side.
+func localFloor(spec *dsp.Spectrum, k int) float64 {
+	n := len(spec.Bins)
+	var vals []float64
+	for d := 3; d <= 16; d++ {
+		if k-d >= 0 {
+			vals = append(vals, spec.Mag(k-d))
+		}
+		if k+d < n {
+			vals = append(vals, spec.Mag(k+d))
+		}
+	}
+	sort.Float64s(vals)
+	if len(vals) == 0 {
+		return 0
+	}
+	return vals[len(vals)/2]
+}
+
+func strongestMag(peaks []dsp.Peak) float64 {
+	var m float64
+	for _, pk := range peaks {
+		if pk.Mag > m {
+			m = pk.Mag
+		}
+	}
+	return m
+}
+
+// CountAcrossQueries runs the counting pipeline over several successive
+// collision captures (§10: a reader's active window collects ~10).
+func CountAcrossQueries(mcs []*rfsim.MultiCapture, p Params) (CountResult, error) {
+	spikes, err := AnalyzeCaptures(mcs, p)
+	if err != nil {
+		return CountResult{}, err
+	}
+	return CountFromSpikes(spikes), nil
+}
+
+// SpikePower returns the spike's channel power on the reference
+// antenna, a proxy for proximity useful when ranking spikes.
+func SpikePower(s Spike) float64 {
+	if len(s.Channels) == 0 {
+		return 0
+	}
+	return cmplx.Abs(s.Channels[0]) * cmplx.Abs(s.Channels[0])
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"caraoke/internal/phy"
+	"caraoke/internal/rfsim"
+)
+
+func TestAnalyzeCapturesErrors(t *testing.T) {
+	p := DefaultParams()
+	if _, err := AnalyzeCaptures(nil, p); err == nil {
+		t.Error("no captures accepted")
+	}
+	if _, err := AnalyzeCaptures([]*rfsim.MultiCapture{nil}, p); err == nil {
+		t.Error("nil capture accepted")
+	}
+	a := &rfsim.MultiCapture{Antennas: [][]complex128{make([]complex128, 2048)}}
+	b := &rfsim.MultiCapture{Antennas: [][]complex128{make([]complex128, 1024)}}
+	if _, err := AnalyzeCaptures([]*rfsim.MultiCapture{a, b}, p); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestAnalyzeCapturesSingleFallsBack(t *testing.T) {
+	// One capture must behave exactly like AnalyzeCapture.
+	s := newTestScene(t, 601)
+	devs := s.placedDevices(3)
+	for i, d := range devs {
+		d.CarrierHz = phy.BandLow + 200e3 + float64(i)*300e3
+	}
+	mc := s.collide(devs)
+	one, err := AnalyzeCaptures([]*rfsim.MultiCapture{mc}, s.param)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := AnalyzeCapture(mc, s.param)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != len(direct) {
+		t.Fatalf("single-capture path diverges: %d vs %d spikes", len(one), len(direct))
+	}
+}
+
+func TestAnalyzeCapturesChannelsFromLastCapture(t *testing.T) {
+	s := newTestScene(t, 602)
+	devs := s.placedDevices(2)
+	devs[0].CarrierHz = phy.BandLow + 300e3
+	devs[1].CarrierHz = phy.BandLow + 800e3
+	mcs := s.collideQueries(devs, 6)
+	spikes, err := AnalyzeCaptures(mcs, s.param)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spikes) != 2 {
+		t.Fatalf("%d spikes", len(spikes))
+	}
+	for _, sp := range spikes {
+		if len(sp.Channels) != 3 {
+			t.Fatalf("spike carries %d channels", len(sp.Channels))
+		}
+		for _, h := range sp.Channels {
+			if h == 0 {
+				t.Error("zero channel estimate")
+			}
+		}
+	}
+}
+
+func TestSuppressResolvedNeighbors(t *testing.T) {
+	binW := 1953.125
+	spikes := []Spike{
+		{Freq: 100 * binW, Multiple: true},
+		{Freq: 102 * binW, Multiple: true}, // 2 bins away: same window bin
+		{Freq: 300 * binW, Multiple: true}, // isolated: flag must survive
+	}
+	suppressResolvedNeighbors(spikes, binW, 0.25)
+	if spikes[0].Multiple || spikes[1].Multiple {
+		t.Error("adjacent resolved spikes kept their Multiple flags")
+	}
+	if !spikes[2].Multiple {
+		t.Error("isolated spike lost its Multiple flag")
+	}
+	// Zero window fraction falls back to the default reach.
+	spikes2 := []Spike{{Freq: 0, Multiple: true}, {Freq: 3 * binW, Multiple: true}}
+	suppressResolvedNeighbors(spikes2, binW, 0)
+	if spikes2[0].Multiple {
+		t.Error("default reach not applied")
+	}
+}
+
+func TestSpikePower(t *testing.T) {
+	if got := SpikePower(Spike{}); got != 0 {
+		t.Errorf("empty spike power %g", got)
+	}
+	s := Spike{Channels: []complex128{3 + 4i}}
+	if got := SpikePower(s); got != 25 {
+		t.Errorf("power %g, want 25", got)
+	}
+}
+
+func TestCountAcrossQueriesMatchesGroundTruth(t *testing.T) {
+	s := newTestScene(t, 603)
+	devs := s.placedDevices(6)
+	for i, d := range devs {
+		d.CarrierHz = phy.BandLow + 100e3 + float64(i)*180e3
+	}
+	res, err := CountAcrossQueries(s.collideQueries(devs, 10), s.param)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 6 {
+		t.Errorf("counted %d of 6", res.Count)
+	}
+}

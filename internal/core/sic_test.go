@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"caraoke/internal/dsp"
+	"caraoke/internal/geom"
+	"caraoke/internal/phy"
+)
+
+func TestCancelTransponderRemovesSignal(t *testing.T) {
+	s := newTestScene(t, 801)
+	devs := s.placedDevices(1)
+	devs[0].CarrierHz = phy.BandLow + 400e3
+	mc := s.collide(devs)
+	stream := mc.Antennas[0]
+
+	// Energy before and after cancelling with the true frame.
+	energy := func(x []complex128) float64 {
+		var e float64
+		for _, v := range x {
+			e += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return e
+	}
+	before := energy(stream)
+	spikes, err := AnalyzeCapture(mc, s.param)
+	if err != nil || len(spikes) != 1 {
+		t.Fatalf("spikes: %v %d", err, len(spikes))
+	}
+	h, err := CancelTransponder(stream, &devs[0].Frame, spikes[0].Freq, s.param.SampleRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(h) == 0 {
+		t.Fatal("zero channel estimate")
+	}
+	after := energy(stream)
+	if after > before/50 {
+		t.Errorf("cancellation removed only %.1f dB", 10*log10(before/after))
+	}
+}
+
+func log10(x float64) float64 {
+	l := 0.0
+	for x >= 10 {
+		x /= 10
+		l++
+	}
+	return l
+}
+
+func TestDecodeWithSICRecoversNearFar(t *testing.T) {
+	// A weak transponder 15 dB under a strong one: the weak spike is
+	// hidden in the strong device's data floor (MinRelToStrongest gate)
+	// until the strong signal is cancelled.
+	s := newTestScene(t, 802)
+	devs := s.placedDevices(2)
+	devs[0].CarrierHz = phy.BandLow + 300e3
+	devs[1].CarrierHz = phy.BandLow + 800e3
+	devs[0].Pos = geom.V(5, -4, 0) // close and strong
+	devs[1].Pos = geom.V(28, 3, 0) // far and weak
+	devs[0].TxAmplitude = 2.0      // widen the gap further
+	devs[1].TxAmplitude = 0.5
+
+	// Confirm the near-far setup hides the weak device from plain
+	// analysis.
+	mc := s.collide(devs)
+	plain, err := AnalyzeCapture(mc, s.param)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weakVisible := false
+	for _, sp := range plain {
+		if abs64(sp.Freq-devs[1].CFO(s.param.ReaderLO)) < 3000 {
+			weakVisible = true
+		}
+	}
+
+	src := func() ([]complex128, error) {
+		return s.collide(devs).Antennas[0], nil
+	}
+	res, err := DecodeWithSIC(src, s.param, 4, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]bool{}
+	for _, d := range res.Decoded {
+		got[d.Frame.ID()] = true
+	}
+	if !got[devs[0].ID()] {
+		t.Error("strong device not decoded")
+	}
+	if !got[devs[1].ID()] {
+		t.Errorf("weak device not recovered by SIC (visible before SIC: %v)", weakVisible)
+	}
+	if res.Rounds < 2 && !weakVisible {
+		t.Errorf("weak device appeared without cancellation in %d rounds?", res.Rounds)
+	}
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestReconstructTransmissionMatchesCapture(t *testing.T) {
+	// Reconstruction with the true channel must reproduce a noiseless
+	// single-transponder capture almost exactly.
+	s := newTestScene(t, 803)
+	s.cfg.NoiseSigma = 0
+	devs := s.placedDevices(1)
+	devs[0].CarrierHz = phy.BandLow + 500e3
+	mc := s.collide(devs)
+	stream := mc.Antennas[0]
+	freq := dsp.RefineFreq(stream, s.param.SampleRate, dsp.Peak{Freq: 500e3})
+	spike := dsp.Goertzel(stream, freq/s.param.SampleRate)
+	h := spike * complex(2/float64(len(stream)), 0)
+	recon, err := ReconstructTransmission(&devs[0].Frame, freq, h, s.param.SampleRate, len(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var num, den float64
+	for i := range stream {
+		d := stream[i] - recon[i]
+		num += real(d)*real(d) + imag(d)*imag(d)
+		den += real(stream[i])*real(stream[i]) + imag(stream[i])*imag(stream[i])
+	}
+	if num > den/100 {
+		t.Errorf("reconstruction residual %.1f%% of signal energy", 100*num/den)
+	}
+}
+
+func TestSICValidation(t *testing.T) {
+	src := func() ([]complex128, error) { return make([]complex128, 2048), nil }
+	if _, err := DecodeWithSIC(src, DefaultParams(), 0, 10); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, err := DecodeWithSIC(src, DefaultParams(), 1, 0); err == nil {
+		t.Error("zero queries accepted")
+	}
+	if _, err := CancelTransponder(nil, &phy.Frame{}, 1e5, 4e6); err == nil {
+		t.Error("empty capture accepted")
+	}
+	if _, err := CancelTransponder(make([]complex128, 2048), &phy.Frame{}, 1e5, 4e6); err == nil {
+		t.Error("zero-spike capture accepted")
+	}
+}

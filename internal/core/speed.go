@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"caraoke/internal/geom"
+)
+
+// Observation is one localized sighting of a transponder: where it was
+// and when, according to the observing reader's (NTP-synchronized)
+// clock.
+type Observation struct {
+	Pos  geom.Vec2
+	Time time.Time
+	Freq float64 // transponder CFO, for association across readers
+}
+
+// SpeedEstimate is the outcome of the §7 two-point speed measurement.
+type SpeedEstimate struct {
+	Speed    float64 // meters per second, along the travel direction
+	Distance float64 // straight-line distance between the observations
+	Delay    time.Duration
+}
+
+// EstimateSpeed computes a car's speed from two sightings (§7:
+// v = (x₂−x₁)/delay). The observations may come from readers hundreds
+// of feet apart; their clocks are assumed NTP-synchronized, and any
+// residual offset appears directly as delay error.
+func EstimateSpeed(a, b Observation) (SpeedEstimate, error) {
+	delay := b.Time.Sub(a.Time)
+	if delay <= 0 {
+		return SpeedEstimate{}, fmt.Errorf("core: observations out of order or simultaneous (delay %v)", delay)
+	}
+	dist := a.Pos.Dist(b.Pos)
+	return SpeedEstimate{
+		Speed:    dist / delay.Seconds(),
+		Distance: dist,
+		Delay:    delay,
+	}, nil
+}
+
+// EstimateSpeedTrack fits a speed to three or more sightings of the
+// same car by least-squares regression of traveled distance against
+// time — the paper's "accuracy can further be improved by taking more
+// measurements along the street from more light poles".
+func EstimateSpeedTrack(obs []Observation) (SpeedEstimate, error) {
+	if len(obs) < 2 {
+		return SpeedEstimate{}, fmt.Errorf("core: need at least two observations, got %d", len(obs))
+	}
+	sorted := append([]Observation(nil), obs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
+	if len(sorted) == 2 {
+		return EstimateSpeed(sorted[0], sorted[1])
+	}
+	// Cumulative path length vs elapsed time, least-squares through
+	// all points.
+	t0 := sorted[0].Time
+	var cum float64
+	var st, sd, stt, std float64
+	n := float64(len(sorted))
+	for i, o := range sorted {
+		if i > 0 {
+			cum += o.Pos.Dist(sorted[i-1].Pos)
+		}
+		t := o.Time.Sub(t0).Seconds()
+		st += t
+		sd += cum
+		stt += t * t
+		std += t * cum
+	}
+	den := n*stt - st*st
+	if den <= 0 {
+		return SpeedEstimate{}, fmt.Errorf("core: observations span no time")
+	}
+	v := (n*std - st*sd) / den
+	total := sorted[len(sorted)-1].Time.Sub(t0)
+	return SpeedEstimate{Speed: v, Distance: cum, Delay: total}, nil
+}
+
+// MPH converts meters/second to miles/hour (paper figures use mph).
+func MPH(metersPerSecond float64) float64 { return metersPerSecond / 0.44704 }
+
+// MetersPerSecond converts miles/hour to meters/second.
+func MetersPerSecond(mph float64) float64 { return mph * 0.44704 }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"caraoke/internal/geom"
+)
+
+func obsAt(x, y float64, at time.Duration) Observation {
+	base := time.Date(2015, 8, 17, 12, 0, 0, 0, time.UTC)
+	return Observation{Pos: geom.P(x, y), Time: base.Add(at)}
+}
+
+func TestEstimateSpeedBasic(t *testing.T) {
+	// 60 m in 3 s → 20 m/s.
+	a := obsAt(0, 0, 0)
+	b := obsAt(60, 0, 3*time.Second)
+	est, err := EstimateSpeed(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Speed-20) > 1e-9 {
+		t.Errorf("speed %g m/s, want 20", est.Speed)
+	}
+	if math.Abs(MPH(est.Speed)-44.74) > 0.01 {
+		t.Errorf("speed %g mph, want ≈44.74", MPH(est.Speed))
+	}
+}
+
+func TestEstimateSpeedRejectsBadOrder(t *testing.T) {
+	a := obsAt(0, 0, 0)
+	b := obsAt(60, 0, 3*time.Second)
+	if _, err := EstimateSpeed(b, a); err == nil {
+		t.Error("reversed observations accepted")
+	}
+	if _, err := EstimateSpeed(a, a); err == nil {
+		t.Error("simultaneous observations accepted")
+	}
+}
+
+func TestEstimateSpeedWithSyncError(t *testing.T) {
+	// §7: tens-of-ms NTP error over a 110 m / 20 mph crossing stays
+	// within the paper's error budget.
+	trueSpeed := MetersPerSecond(20)
+	sep := geom.Feet(360)
+	crossing := time.Duration(sep / trueSpeed * float64(time.Second))
+	a := obsAt(0, 0, 0)
+	b := obsAt(sep, 0, crossing+40*time.Millisecond) // 40 ms clock skew
+	est, err := EstimateSpeed(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(est.Speed-trueSpeed) / trueSpeed
+	if relErr > 0.055 {
+		t.Errorf("relative error %.3f, paper bounds it at 0.055 for 20 mph", relErr)
+	}
+}
+
+func TestEstimateSpeedTrackRegression(t *testing.T) {
+	// Five poles, constant 15 m/s, noisy positions: regression should
+	// beat the two-point estimate.
+	truth := 15.0
+	var obs []Observation
+	noise := []float64{0.8, -0.5, 0.3, -0.9, 0.6}
+	for i := 0; i < 5; i++ {
+		tt := time.Duration(float64(i) * 2 * float64(time.Second))
+		obs = append(obs, obsAt(truth*2*float64(i)+noise[i], 0, tt))
+	}
+	est, err := EstimateSpeedTrack(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(est.Speed-truth) / truth; rel > 0.05 {
+		t.Errorf("track speed %.2f, truth %.2f (rel %.3f)", est.Speed, truth, rel)
+	}
+	if _, err := EstimateSpeedTrack(obs[:1]); err == nil {
+		t.Error("single observation accepted")
+	}
+	// Two observations fall back to the direct estimate.
+	two, err := EstimateSpeedTrack(obs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := EstimateSpeed(obs[0], obs[1])
+	if math.Abs(two.Speed-direct.Speed) > 1e-9 {
+		t.Errorf("two-point track %g differs from direct %g", two.Speed, direct.Speed)
+	}
+}
+
+func TestEstimateSpeedTrackUnsorted(t *testing.T) {
+	obs := []Observation{
+		obsAt(40, 0, 2*time.Second),
+		obsAt(0, 0, 0),
+		obsAt(80, 0, 4*time.Second),
+	}
+	est, err := EstimateSpeedTrack(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Speed-20) > 1e-9 {
+		t.Errorf("speed %g, want 20 (order-independence)", est.Speed)
+	}
+}
+
+func TestEstimateSpeedTrackZeroSpan(t *testing.T) {
+	obs := []Observation{obsAt(0, 0, 0), obsAt(1, 0, 0), obsAt(2, 0, 0)}
+	if _, err := EstimateSpeedTrack(obs); err == nil {
+		t.Error("zero time span accepted")
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if v := MetersPerSecond(MPH(12.34)); math.Abs(v-12.34) > 1e-9 {
+		t.Errorf("mph round trip: %g", v)
+	}
+}

@@ -1,0 +1,208 @@
+// Package dsp provides the signal-processing primitives Caraoke is built
+// on: fast Fourier transforms (dense and sparse), single-bin DFT
+// evaluation (Goertzel), window functions, spectral peak detection, and
+// the dual-window bin-occupancy test of §5 of the paper.
+//
+// All routines operate on complex baseband samples represented as
+// []complex128. The package has no dependencies outside the standard
+// library and allocates nothing on its hot paths once a plan has been
+// created.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFTPlan holds the precomputed bit-reversal permutation and twiddle
+// factors for a power-of-two transform length. A plan is safe for
+// concurrent use by multiple goroutines because Transform and Inverse
+// never write to the plan itself.
+type FFTPlan struct {
+	n       int
+	logN    int
+	rev     []int        // bit-reversal permutation
+	twiddle []complex128 // e^{-2πi k/n} for k in [0, n/2)
+}
+
+// NewFFTPlan creates a plan for transforms of length n. n must be a
+// power of two and at least 1.
+func NewFFTPlan(n int) (*FFTPlan, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dsp: FFT length %d is not a positive power of two", n)
+	}
+	p := &FFTPlan{
+		n:       n,
+		logN:    bits.TrailingZeros(uint(n)),
+		rev:     make([]int, n),
+		twiddle: make([]complex128, n/2),
+	}
+	for i := 0; i < n; i++ {
+		p.rev[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - p.logN))
+	}
+	for k := 0; k < n/2; k++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		p.twiddle[k] = complex(c, s)
+	}
+	return p, nil
+}
+
+// N returns the transform length of the plan.
+func (p *FFTPlan) N() int { return p.n }
+
+// Transform computes the forward DFT of src into dst. dst and src must
+// both have length N(); they may alias the same slice for an in-place
+// transform. The convention is X[k] = Σ x[t]·e^{-2πi kt/N} (no scaling).
+func (p *FFTPlan) Transform(dst, src []complex128) {
+	p.run(dst, src, false)
+}
+
+// Inverse computes the inverse DFT of src into dst, scaling by 1/N so
+// that Inverse(Transform(x)) == x.
+func (p *FFTPlan) Inverse(dst, src []complex128) {
+	p.run(dst, src, true)
+	inv := complex(1/float64(p.n), 0)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+func (p *FFTPlan) run(dst, src []complex128, inverse bool) {
+	if len(dst) != p.n || len(src) != p.n {
+		panic(fmt.Sprintf("dsp: FFT buffer length %d/%d, plan length %d", len(dst), len(src), p.n))
+	}
+	// Bit-reversal copy. When dst aliases src we must swap in place.
+	if &dst[0] == &src[0] {
+		for i, j := range p.rev {
+			if j > i {
+				dst[i], dst[j] = dst[j], dst[i]
+			}
+		}
+	} else {
+		for i, j := range p.rev {
+			dst[i] = src[j]
+		}
+	}
+	// Iterative Cooley-Tukey butterflies.
+	for size := 2; size <= p.n; size <<= 1 {
+		half := size >> 1
+		step := p.n / size
+		for start := 0; start < p.n; start += size {
+			tw := 0
+			for k := start; k < start+half; k++ {
+				w := p.twiddle[tw]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				odd := dst[k+half] * w
+				dst[k+half] = dst[k] - odd
+				dst[k] += odd
+				tw += step
+			}
+		}
+	}
+}
+
+// FFT computes the forward DFT of x, returning a fresh slice. Power-of-two
+// lengths use the Cooley-Tukey path; any other length falls back to the
+// Bluestein chirp-z algorithm. A zero-length input yields a zero-length
+// output.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) == 0 {
+		p, _ := NewFFTPlan(n)
+		out := make([]complex128, n)
+		p.Transform(out, x)
+		return out
+	}
+	return bluestein(x, false)
+}
+
+// IFFT computes the inverse DFT of x (scaled by 1/N), returning a fresh
+// slice.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) == 0 {
+		p, _ := NewFFTPlan(n)
+		out := make([]complex128, n)
+		p.Inverse(out, x)
+		return out
+	}
+	out := bluestein(x, true)
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// bluestein evaluates a DFT of arbitrary length as a convolution,
+// which is in turn computed with a power-of-two FFT.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[k] = e^{sign·πi k²/n}
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Reduce k² mod 2n before multiplying to avoid precision loss
+		// for large n.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		s, c := math.Sincos(sign * math.Pi * float64(kk) / float64(n))
+		chirp[k] = complex(c, s)
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		cc := complex(real(chirp[k]), -imag(chirp[k]))
+		b[k] = cc
+		if k > 0 {
+			b[m-k] = cc
+		}
+	}
+	p, _ := NewFFTPlan(m)
+	fa := make([]complex128, m)
+	fb := make([]complex128, m)
+	p.Transform(fa, a)
+	p.Transform(fb, b)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	p.Inverse(fa, fa)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = fa[k] * chirp[k]
+	}
+	return out
+}
+
+// DFTNaive computes the DFT by direct summation. It is O(n²) and exists
+// for testing and for tiny inputs where planning overhead dominates.
+func DFTNaive(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s, c := math.Sincos(ang)
+			sum += x[t] * complex(c, s)
+		}
+		out[k] = sum
+	}
+	return out
+}

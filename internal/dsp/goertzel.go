@@ -1,0 +1,40 @@
+package dsp
+
+import "math"
+
+// Goertzel evaluates the DFT of x at a single, possibly fractional,
+// normalized frequency f (cycles per sample, i.e. f = freqHz/sampleRate).
+// It returns Σ_t x[t]·e^{-2πi f t}, matching the FFT convention, so
+// Goertzel(x, k/len(x)) equals FFT(x)[k] up to rounding.
+//
+// The direct complex-phasor recurrence is used instead of the classical
+// real-coefficient Goertzel filter: for complex baseband input the phasor
+// form is just as cheap and numerically cleaner for fractional bins.
+func Goertzel(x []complex128, f float64) complex128 {
+	// Phase-accumulated rotation: multiply by a constant step each
+	// sample. We periodically renormalize the phasor to counter drift.
+	s, c := math.Sincos(-2 * math.Pi * f)
+	step := complex(c, s)
+	w := complex(1, 0)
+	var sum complex128
+	for t, v := range x {
+		sum += v * w
+		w *= step
+		if t&1023 == 1023 {
+			// Renormalize |w| to 1 to prevent magnitude drift over
+			// long inputs.
+			mag := math.Hypot(real(w), imag(w))
+			w = complex(real(w)/mag, imag(w)/mag)
+		}
+	}
+	return sum
+}
+
+// GoertzelWindow evaluates the DFT of x[start:start+length] at normalized
+// frequency f, with the phase referenced to the start of the window. It
+// is the primitive behind the dual-window occupancy test (§5): comparing
+// |GoertzelWindow(x, f, 0, L)| against |GoertzelWindow(x, f, τ, L)|
+// reveals whether one or several tones share the bin at f.
+func GoertzelWindow(x []complex128, f float64, start, length int) complex128 {
+	return Goertzel(x[start:start+length], f)
+}

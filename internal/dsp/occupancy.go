@@ -1,0 +1,178 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Occupancy classifies how many transponder tones share one FFT bin.
+// Caraoke only needs to distinguish "exactly one" from "two or more"
+// (§5: a multi-occupied bin is counted as two; only three-or-more in one
+// bin produces a counting error).
+type Occupancy int
+
+// Occupancy values.
+const (
+	OccupancySingle   Occupancy = iota // one tone in the bin
+	OccupancyMultiple                  // two or more tones in the bin
+)
+
+// OccupancyParams tunes the dual-window test.
+type OccupancyParams struct {
+	// WindowFrac is the analysis window length as a fraction of the
+	// capture. Shorter windows allow larger shifts, which amplify the
+	// beat between two close tones.
+	WindowFrac float64
+	// Shifts are the two window start offsets, as fractions of the
+	// capture length, at which the spike is re-measured. The second
+	// must be exactly twice the first so the phase-consistency check
+	// (ρ₂ = ρ₁² for a single tone) applies.
+	Shifts [2]float64
+	// RelTolerance is the minimum relative magnitude change beyond
+	// which the bin is declared multi-occupied. Single tones change
+	// only by interference and noise; two tones beat against each
+	// other.
+	RelTolerance float64
+	// ConsistencyTol is the minimum bound on |ρ₂ − ρ₁²| for a single
+	// tone, where ρᵢ = R(shiftᵢ)/R(0). Two tones in a bin violate the
+	// quadratic phase relation even when the magnitudes happen to
+	// match.
+	ConsistencyTol float64
+	// KMag and KCons scale the self-calibrated interference floor (see
+	// ClassifyBin) into the magnitude and consistency gates. The wider
+	// of the fixed tolerance and the calibrated gate applies.
+	KMag  float64
+	KCons float64
+}
+
+// DefaultOccupancyParams returns the parameters used by the Caraoke
+// counter: quarter-capture windows measured at 3/8 and 3/4 shifts.
+func DefaultOccupancyParams() OccupancyParams {
+	return OccupancyParams{
+		WindowFrac:     0.25,
+		Shifts:         [2]float64{0.375, 0.75},
+		RelTolerance:   0.2,
+		ConsistencyTol: 0.45,
+		KMag:           3.5,
+		KCons:          5,
+	}
+}
+
+func (p *OccupancyParams) setDefaults() {
+	if p.WindowFrac <= 0 || p.WindowFrac > 1 {
+		p.WindowFrac = 0.25
+	}
+	if p.Shifts[0] <= 0 || p.Shifts[1] <= 0 {
+		p.Shifts = [2]float64{0.375, 0.75}
+	}
+	if p.RelTolerance <= 0 {
+		p.RelTolerance = 0.2
+	}
+	if p.ConsistencyTol <= 0 {
+		p.ConsistencyTol = 0.45
+	}
+	if p.KMag <= 0 {
+		p.KMag = 3.5
+	}
+	if p.KCons <= 0 {
+		p.KCons = 5
+	}
+}
+
+// ClassifyBin applies the time-shift test of §5 to the tone at frequency
+// freqHz within the capture. The DFT at that frequency is measured over
+// a base window starting at sample 0 and over two shifted windows. The
+// Fourier phase-rotation property means a single tone keeps its
+// magnitude (‖R(f)‖ = ‖R(f)·e^{2πifτ}‖) and rotates quadratically
+// (ρ₂ = ρ₁² when the second shift is double the first), while two tones
+// sharing the bin rotate by different phases, beating in magnitude and
+// breaking the quadratic phase relation.
+//
+// During a collision the windows also contain the *other* transponders'
+// OOK data, whose short-window level is structured and capture-specific
+// — no analytic model fits it. The test therefore self-calibrates: it
+// measures the same windows at reference frequencies offset by integer
+// multiples of the window bin width (where a tone at freqHz has exactly
+// zero Dirichlet leakage), takes the median as the interference floor
+// W, and requires magnitude changes to exceed KMag·W and consistency
+// residuals to exceed KCons·W/m₀ before declaring the bin
+// multi-occupied.
+func ClassifyBin(samples []complex128, sampleRate, freqHz float64, p OccupancyParams) Occupancy {
+	n := len(samples)
+	if n == 0 {
+		return OccupancySingle
+	}
+	p.setDefaults()
+	winLen := int(float64(n) * p.WindowFrac)
+	if winLen < 4 {
+		winLen = n
+	}
+	fNorm := freqHz / sampleRate
+
+	starts := [3]int{0}
+	for i, frac := range p.Shifts {
+		start := int(float64(n) * frac)
+		if start+winLen > n {
+			start = n - winLen
+		}
+		if start <= 0 {
+			return OccupancySingle
+		}
+		starts[i+1] = start
+	}
+
+	var r [3]complex128
+	var m [3]float64
+	for i, start := range starts {
+		r[i] = GoertzelWindow(samples, fNorm, start, winLen)
+		m[i] = cmplx.Abs(r[i])
+	}
+	if m[0] == 0 {
+		return OccupancySingle
+	}
+
+	// Self-calibrated interference floor: same windows, at frequencies
+	// ±k window-bins away (k = 2, 3, 4, 5), where the probe tone's
+	// window DFT is zero.
+	winBin := sampleRate / float64(winLen)
+	var refs []float64
+	for _, k := range []float64{2, 3, 4, 5} {
+		for _, sign := range []float64{-1, 1} {
+			rf := (freqHz + sign*k*winBin) / sampleRate
+			if rf <= 0 || rf >= 1 {
+				continue
+			}
+			for _, start := range starts {
+				refs = append(refs, cmplx.Abs(GoertzelWindow(samples, rf, start, winLen)))
+			}
+		}
+	}
+	w := medianFloat(refs)
+
+	magGate := p.RelTolerance * m[0]
+	if g := p.KMag * w; g > magGate {
+		magGate = g
+	}
+	for i := 1; i < 3; i++ {
+		if math.Abs(m[i]-m[0]) > magGate {
+			return OccupancyMultiple
+		}
+	}
+
+	consGate := p.ConsistencyTol
+	if g := p.KCons * w / m[0]; g > consGate {
+		consGate = g
+	}
+	var rho [2]complex128
+	for i := 1; i < 3; i++ {
+		// Remove the expected rotation at the probe frequency so ρ
+		// carries only the residual (true minus probe) rotation; the
+		// quadratic relation is preserved either way.
+		expected := cmplx.Exp(complex(0, -2*math.Pi*fNorm*float64(starts[i])))
+		rho[i-1] = r[i] / r[0] * expected
+	}
+	if cmplx.Abs(rho[1]-rho[0]*rho[0]) > consGate {
+		return OccupancyMultiple
+	}
+	return OccupancySingle
+}

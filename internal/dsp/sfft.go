@@ -1,0 +1,264 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// Tone is a spectral component recovered by the sparse FFT: a complex
+// amplitude at a continuous frequency. Amp is on the same scale as a
+// dense FFT bin value (amplitude × capture length for a pure tone).
+type Tone struct {
+	Freq float64    // Hz
+	Amp  complex128 // FFT-bin-scale complex amplitude
+}
+
+// SparseFFTParams configures the sparse transform.
+type SparseFFTParams struct {
+	// Buckets per round. Each round subsamples the capture by
+	// n/Buckets[r] and takes a Buckets[r]-point FFT, aliasing the fine
+	// spectrum into the buckets; tones colliding in one round are
+	// usually separated in another. Every entry must be a power of two
+	// smaller than the capture length.
+	Buckets []int
+	// Iterations is how many passes over the bucket schedule to run.
+	// Later passes recover tones masked by collisions in earlier ones.
+	Iterations int
+	// Threshold is the multiple of the estimated noise level a
+	// candidate must exceed, both at bucket detection and at final
+	// amplitude validation.
+	Threshold float64
+	// MaxTones caps the number of recovered tones (the sparsity k).
+	MaxTones int
+}
+
+// DefaultSparseFFTParams returns parameters suited to Caraoke captures
+// (2048 samples, ≤ 50 transponders): two rounds of 256 and 512 buckets,
+// run twice.
+func DefaultSparseFFTParams() SparseFFTParams {
+	return SparseFFTParams{Buckets: []int{256, 512}, Iterations: 2, Threshold: 6, MaxTones: 64}
+}
+
+// SparseFFT recovers the dominant tones of a spectrally sparse capture
+// following the aliasing approach of the sFFT line of work the paper
+// cites ([31–33]): the capture is subsampled (aliasing all spikes into a
+// small number of buckets), a small FFT locates occupied buckets, the
+// phase rotation between time-shifted subsampled streams gives a coarse
+// frequency which a Goertzel phase ladder then refines, and recovered
+// tones are subtracted so that further rounds resolve bucket collisions.
+//
+// Detection work is sub-linear (B·log B per round); each recovered tone
+// additionally costs a few linear scans for refinement and subtraction,
+// so total work is O(B·log B + k·n) versus O(n·log n) for the dense FFT
+// — the trade the paper's reader hardware exploits.
+//
+// The capture length must be a power of two.
+func SparseFFT(samples []complex128, sampleRate float64, p SparseFFTParams) ([]Tone, error) {
+	n := len(samples)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dsp: sparse FFT needs power-of-two length, got %d", n)
+	}
+	if len(p.Buckets) == 0 {
+		p = DefaultSparseFFTParams()
+	}
+	if p.Threshold <= 0 {
+		p.Threshold = 6
+	}
+	if p.MaxTones <= 0 {
+		p.MaxTones = 64
+	}
+	if p.Iterations <= 0 {
+		p.Iterations = 2
+	}
+	for _, b := range p.Buckets {
+		if b <= 0 || b&(b-1) != 0 || b > n/2 {
+			return nil, fmt.Errorf("dsp: bucket count %d invalid for capture length %d", b, n)
+		}
+	}
+	residual := make([]complex128, n)
+	copy(residual, samples)
+	var tones []Tone
+	for iter := 0; iter < p.Iterations && len(tones) < p.MaxTones; iter++ {
+		found := false
+		for _, b := range p.Buckets {
+			cands, fineNoise := bucketCandidates(residual, sampleRate, b, p.Threshold)
+			// Strongest first: their subtraction cleans the residual
+			// for the weaker candidates' validation below.
+			sort.Slice(cands, func(i, j int) bool { return cands[i].mag > cands[j].mag })
+			for _, c := range cands {
+				if len(tones) >= p.MaxTones {
+					break
+				}
+				freq := refineFreqLadder(residual, sampleRate, c.freq)
+				amp := Goertzel(residual, freq/sampleRate)
+				// Re-validate on the current residual: a candidate that
+				// was only sidelobe leakage of an already-subtracted
+				// tone has nothing left here.
+				if cmplx.Abs(amp) < p.Threshold*fineNoise {
+					continue
+				}
+				t := Tone{Freq: freq, Amp: amp}
+				subtractTone(residual, sampleRate, t)
+				tones = mergeTone(tones, t, 0.75*sampleRate/float64(n))
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	sort.Slice(tones, func(i, j int) bool { return tones[i].Freq < tones[j].Freq })
+	return tones, nil
+}
+
+// sfftCandidate is an occupied bucket with a coarse frequency estimate.
+type sfftCandidate struct {
+	freq float64 // coarse Hz estimate from the 1-sample phase rotation
+	mag  float64 // bucket magnitude
+}
+
+// bucketCandidates subsamples the residual into `buckets` streams at
+// offsets 0, 1 and 2 samples, FFTs each, and returns occupied buckets
+// with coarse frequency estimates. Buckets holding two aliased tones are
+// skipped: their offset streams disagree in magnitude, or break the
+// quadratic phase relation ρ₂ = ρ₁² that a single tone must satisfy
+// (ρᵢ being the offset-i/offset-0 bucket ratio). It also returns the
+// estimated fine-bin noise level used to validate candidates.
+func bucketCandidates(residual []complex128, sampleRate float64, buckets int, threshold float64) ([]sfftCandidate, float64) {
+	n := len(residual)
+	stride := n / buckets
+	plan, _ := NewFFTPlan(buckets)
+	z := make([]complex128, 3*buckets)
+	for j := 0; j < buckets; j++ {
+		z[j] = residual[j*stride]
+		z[buckets+j] = residual[j*stride+1]
+		z[2*buckets+j] = residual[j*stride+2]
+	}
+	f0 := make([]complex128, buckets)
+	f1 := make([]complex128, buckets)
+	f2 := make([]complex128, buckets)
+	plan.Transform(f0, z[:buckets])
+	plan.Transform(f1, z[buckets:2*buckets])
+	plan.Transform(f2, z[2*buckets:])
+
+	// Off-grid tones leak into every bucket, inflating the median; the
+	// lower quartile is a robust floor for the sparse case.
+	floor := quantileMag(f0, 0.25)
+	cut := floor * threshold
+	// A subsampled stream of B samples accumulates tone magnitude B and
+	// noise magnitude ~√B·σ; a fine FFT bin accumulates noise ~√n·σ.
+	fineNoise := floor * math.Sqrt(float64(n)/float64(buckets))
+	var cands []sfftCandidate
+	for b := 0; b < buckets; b++ {
+		m0 := cmplx.Abs(f0[b])
+		if m0 <= cut || m0 == 0 {
+			continue
+		}
+		m1 := cmplx.Abs(f1[b])
+		m2 := cmplx.Abs(f2[b])
+		if math.Abs(m1-m0) > 0.2*m0 || math.Abs(m2-m0) > 0.2*m0 {
+			continue // collision: magnitudes beat across offsets
+		}
+		rho1 := f1[b] / f0[b]
+		rho2 := f2[b] / f0[b]
+		if cmplx.Abs(rho2-rho1*rho1) > 0.12 {
+			continue // collision: phase rotation is not a single tone's
+		}
+		fNorm := cmplx.Phase(rho1) / (2 * math.Pi)
+		if fNorm < 0 {
+			fNorm++
+		}
+		cands = append(cands, sfftCandidate{freq: fNorm * sampleRate, mag: m0})
+	}
+	return cands, fineNoise
+}
+
+// quantileMag returns the q-quantile (0..1) of the magnitudes of x.
+func quantileMag(x []complex128, q float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	mags := make([]float64, len(x))
+	for i := range x {
+		mags[i] = cmplx.Abs(x[i])
+	}
+	sort.Float64s(mags)
+	idx := int(q * float64(len(mags)-1))
+	return mags[idx]
+}
+
+// refineFreqLadder sharpens a coarse frequency estimate by comparing the
+// tone's phase between two windows of the residual separated by
+// progressively larger offsets. Each stage divides the frequency
+// uncertainty by the offset growth factor, as long as the incoming
+// uncertainty stays within the stage's unambiguous range ±fs/(2Δ).
+func refineFreqLadder(residual []complex128, sampleRate, freq float64) float64 {
+	n := len(residual)
+	for _, delta := range []int{8, 64, 512} {
+		if delta*2 >= n {
+			break
+		}
+		l := n - delta
+		fNorm := freq / sampleRate
+		a := Goertzel(residual[:l], fNorm)
+		b := Goertzel(residual[delta:], fNorm)
+		if cmplx.Abs(a) == 0 || cmplx.Abs(b) == 0 {
+			return freq
+		}
+		// Goertzel references phase to its window start, so b carries
+		// the tone's full rotation across delta samples; remove the
+		// probe frequency's share to leave only the residual advance.
+		probe := cmplx.Exp(complex(0, -2*math.Pi*fNorm*float64(delta)))
+		adv := cmplx.Phase(b * probe * cmplx.Conj(a))
+		freq += adv / (2 * math.Pi * float64(delta)) * sampleRate
+	}
+	return freq
+}
+
+// mergeTone appends t to tones, or folds it into an existing tone whose
+// frequency is within tol Hz (residual re-recovery of the same spike).
+func mergeTone(tones []Tone, t Tone, tol float64) []Tone {
+	for i := range tones {
+		if math.Abs(tones[i].Freq-t.Freq) < tol {
+			tones[i].Amp += t.Amp
+			return tones
+		}
+	}
+	return append(tones, t)
+}
+
+// subtractTone removes a recovered tone from the residual in place.
+func subtractTone(residual []complex128, sampleRate float64, t Tone) {
+	n := len(residual)
+	// Per-sample amplitude: bin-scale amplitude divided by n.
+	a := t.Amp / complex(float64(n), 0)
+	s, c := math.Sincos(2 * math.Pi * t.Freq / sampleRate)
+	step := complex(c, s)
+	w := complex(1, 0)
+	for i := range residual {
+		residual[i] -= a * w
+		w *= step
+		if i&1023 == 1023 {
+			mag := math.Hypot(real(w), imag(w))
+			w = complex(real(w)/mag, imag(w)/mag)
+		}
+	}
+}
+
+func medianMag(x []complex128) float64 {
+	mags := make([]float64, len(x))
+	for i := range x {
+		mags[i] = cmplx.Abs(x[i])
+	}
+	n := len(mags)
+	if n == 0 {
+		return 0
+	}
+	sort.Float64s(mags)
+	if n%2 == 1 {
+		return mags[n/2]
+	}
+	return 0.5 * (mags[n/2-1] + mags[n/2])
+}

@@ -1,0 +1,154 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSparseFFTRecoversSparseTones(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 2048
+	fs := 4e6
+	want := []Tone{
+		{Freq: 150e3, Amp: complex(float64(n), 0)},
+		{Freq: 420e3, Amp: complex(0, float64(n))},
+		{Freq: 777e3, Amp: complex(float64(n)*0.8, float64(n)*0.3)},
+		{Freq: 1.1e6, Amp: complex(-float64(n)*0.6, 0)},
+	}
+	x := toneSignal(rng, n, fs, 0.01, want)
+	got, err := SparseFFT(x, fs, DefaultSparseFFTParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d tones, want %d: %+v", len(got), len(want), got)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].Freq < got[j].Freq })
+	for i := range want {
+		if d := math.Abs(got[i].Freq - want[i].Freq); d > 500 {
+			t.Errorf("tone %d freq %g, want %g (off by %g Hz)", i, got[i].Freq, want[i].Freq, d)
+		}
+		gotMag := math.Hypot(real(got[i].Amp), imag(got[i].Amp))
+		wantMag := math.Hypot(real(want[i].Amp), imag(want[i].Amp))
+		if math.Abs(gotMag-wantMag) > 0.1*wantMag {
+			t.Errorf("tone %d |amp| %g, want %g", i, gotMag, wantMag)
+		}
+	}
+}
+
+func TestSparseFFTResolvesBucketCollision(t *testing.T) {
+	// Two tones aliasing into the same bucket in the 256-bucket round
+	// (fine bins differing by a multiple of 256) must be separated by
+	// the 512-bucket round plus subtraction.
+	rng := rand.New(rand.NewSource(42))
+	n := 2048
+	fs := 4e6
+	binW := fs / float64(n)
+	want := []Tone{
+		{Freq: 100 * binW, Amp: complex(float64(n), 0)},
+		{Freq: (100 + 256) * binW, Amp: complex(0, float64(n))},
+	}
+	x := toneSignal(rng, n, fs, 0.005, want)
+	got, err := SparseFFT(x, fs, DefaultSparseFFTParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 2 {
+		t.Fatalf("recovered %d tones, want 2", len(got))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].Freq < got[j].Freq })
+	for i := range want {
+		if d := math.Abs(got[i].Freq - want[i].Freq); d > 500 {
+			t.Errorf("tone %d freq %g, want %g", i, got[i].Freq, want[i].Freq)
+		}
+	}
+}
+
+func TestSparseFFTEmptySignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	x := toneSignal(rng, 2048, 4e6, 0.5, nil)
+	got, err := SparseFFT(x, 4e6, DefaultSparseFFTParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("noise-only capture yielded %d tones", len(got))
+	}
+}
+
+func TestSparseFFTRejectsBadInput(t *testing.T) {
+	if _, err := SparseFFT(make([]complex128, 1000), 4e6, DefaultSparseFFTParams()); err == nil {
+		t.Error("expected error for non-power-of-two length")
+	}
+	if _, err := SparseFFT(nil, 4e6, DefaultSparseFFTParams()); err == nil {
+		t.Error("expected error for empty input")
+	}
+	bad := SparseFFTParams{Buckets: []int{3}, Threshold: 6, MaxTones: 8}
+	if _, err := SparseFFT(make([]complex128, 2048), 4e6, bad); err == nil {
+		t.Error("expected error for non-power-of-two bucket count")
+	}
+	tooBig := SparseFFTParams{Buckets: []int{2048}, Threshold: 6, MaxTones: 8}
+	if _, err := SparseFFT(make([]complex128, 2048), 4e6, tooBig); err == nil {
+		t.Error("expected error for bucket count equal to capture length")
+	}
+}
+
+func TestSparseFFTMaxTonesCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	n := 2048
+	fs := 4e6
+	var tones []Tone
+	for i := 0; i < 6; i++ {
+		tones = append(tones, Tone{Freq: 100e3 * float64(i+1), Amp: complex(float64(n), 0)})
+	}
+	x := toneSignal(rng, n, fs, 0.01, tones)
+	p := DefaultSparseFFTParams()
+	p.MaxTones = 3
+	got, err := SparseFFT(x, fs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) > 3 {
+		t.Errorf("recovered %d tones, cap was 3", len(got))
+	}
+}
+
+func TestMedianMag(t *testing.T) {
+	cases := []struct {
+		in   []complex128
+		want float64
+	}{
+		{nil, 0},
+		{[]complex128{3}, 3},
+		{[]complex128{1, 5, 3}, 3},
+		{[]complex128{1, 2, 3, 4}, 2.5},
+		{[]complex128{complex(3, 4)}, 5},
+	}
+	for _, c := range cases {
+		if got := medianMag(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("medianMag(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func BenchmarkSparseFFT2048(b *testing.B) {
+	rng := rand.New(rand.NewSource(45))
+	n := 2048
+	fs := 4e6
+	tones := []Tone{
+		{Freq: 150e3, Amp: complex(float64(n), 0)},
+		{Freq: 420e3, Amp: complex(0, float64(n))},
+		{Freq: 777e3, Amp: complex(float64(n)*0.8, 0)},
+	}
+	x := toneSignal(rng, n, fs, 0.01, tones)
+	p := DefaultSparseFFTParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SparseFFT(x, fs, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// Spectrum is the frequency-domain view of a fixed-length capture. Bins
+// follow the FFT layout: bin k covers frequency k·SampleRate/len(Bins)
+// for k < N/2, and negative frequencies above that. Caraoke places its
+// receive LO at the bottom of the transponder band, so all CFO spikes of
+// interest land in the non-negative half.
+type Spectrum struct {
+	Bins       []complex128
+	SampleRate float64 // samples per second of the originating capture
+}
+
+// NewSpectrum computes the spectrum of a capture via the dense FFT.
+func NewSpectrum(samples []complex128, sampleRate float64) *Spectrum {
+	return &Spectrum{Bins: FFT(samples), SampleRate: sampleRate}
+}
+
+// BinWidth returns the frequency width of one bin in Hz (Eq 6: δf = 1/T).
+func (s *Spectrum) BinWidth() float64 {
+	return s.SampleRate / float64(len(s.Bins))
+}
+
+// BinFreq returns the center frequency in Hz of bin k, in [0, SampleRate).
+func (s *Spectrum) BinFreq(k int) float64 {
+	return float64(k) * s.BinWidth()
+}
+
+// FreqBin returns the bin index whose center is nearest to freq Hz
+// (freq taken modulo the sample rate).
+func (s *Spectrum) FreqBin(freq float64) int {
+	n := len(s.Bins)
+	k := int(math.Round(freq/s.BinWidth())) % n
+	if k < 0 {
+		k += n
+	}
+	return k
+}
+
+// Mag returns the magnitude of bin k.
+func (s *Spectrum) Mag(k int) float64 { return cmplx.Abs(s.Bins[k]) }
+
+// Power returns the squared magnitude of bin k.
+func (s *Spectrum) Power(k int) float64 {
+	re, im := real(s.Bins[k]), imag(s.Bins[k])
+	return re*re + im*im
+}
+
+// NoiseFloor estimates the noise magnitude level as the median bin
+// magnitude. The transponder spikes are sparse (a handful of bins out of
+// thousands), so the median is a robust noise statistic even during a
+// large collision.
+func (s *Spectrum) NoiseFloor() float64 {
+	mags := make([]float64, len(s.Bins))
+	for i := range s.Bins {
+		mags[i] = cmplx.Abs(s.Bins[i])
+	}
+	sort.Float64s(mags)
+	n := len(mags)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return mags[n/2]
+	}
+	return 0.5 * (mags[n/2-1] + mags[n/2])
+}
+
+// String summarizes the spectrum for debugging.
+func (s *Spectrum) String() string {
+	return fmt.Sprintf("Spectrum{bins=%d, fs=%.0f Hz, δf=%.1f Hz}", len(s.Bins), s.SampleRate, s.BinWidth())
+}
+
+// Peak is a detected spectral spike.
+type Peak struct {
+	Bin  int        // FFT bin index
+	Freq float64    // bin center frequency, Hz
+	Val  complex128 // complex bin value (≈ h/2 for a transponder spike)
+	Mag  float64    // |Val|
+}
+
+// PeakParams tunes FindPeaks.
+type PeakParams struct {
+	// Threshold is the multiple of the noise floor a local maximum must
+	// exceed to count as a peak. The floor is the median bin magnitude,
+	// which in a collision tracks the aggregate OOK data spectrum, so
+	// the threshold self-scales with the number of colliders.
+	Threshold float64
+	// MinSeparation is the minimum number of bins between two reported
+	// peaks; within a conflict the larger magnitude wins.
+	MinSeparation int
+	// MaxFreq, if positive, limits the search to bins with center
+	// frequency in [0, MaxFreq]. Caraoke uses the 1.2 MHz CFO span.
+	MaxFreq float64
+	// Sharpness requires a peak to exceed the *median* of its nearby
+	// bins (between SharpGuard and SharpRadius bins away on each side)
+	// by this factor. A transponder's carrier spike is one bin wide,
+	// while the humps of its OOK data spectrum are broad; sharpness
+	// separates the two at any collision size. The neighborhood median
+	// (not mean) keeps a strong spike from masking a weak one nearby.
+	Sharpness   float64
+	SharpGuard  int // bins adjacent to the peak excluded from the test
+	SharpRadius int // outer extent of the neighborhood
+	// MinRelToStrongest drops peaks below this fraction of the
+	// strongest surviving peak. A transponder's own data spectrum has
+	// realization-specific components reaching ~√N·(tail)/(N/2) ≈ 13 %
+	// of its carrier spike; within a reader's ~100-foot range the
+	// spread of genuine carrier amplitudes is bounded well above that,
+	// so the gate removes data ghosts without losing real devices.
+	// Zero disables the gate.
+	MinRelToStrongest float64
+	// ExcessSigma, when positive, requires a peak's magnitude to
+	// exceed its local median by this many local MADs (median absolute
+	// deviations). On spectra averaged over several queries the
+	// floor's variance shrinks with the number of averages while a
+	// carrier's excess does not, making this the most sensitive
+	// detector for weak spikes riding a high collision floor. Set
+	// Sharpness to exactly 1 to disable the ratio test when
+	// ExcessSigma carries the selectivity.
+	ExcessSigma float64
+}
+
+// DefaultPeakParams are the parameters used by the Caraoke counting and
+// localization pipelines. The global threshold self-scales with the
+// aggregate data floor (median bin), and the sharpness ratio is set
+// just above the reach of Rayleigh-tail fluctuations of the colored OOK
+// data spectrum (P(bin > 4× local median) ≈ e⁻¹¹ per bin), so data
+// humps essentially never register while carrier spikes — √N ≈ 45×
+// above the per-bin data level for a lone transponder — always do.
+func DefaultPeakParams() PeakParams {
+	return PeakParams{
+		Threshold:         4,
+		MinSeparation:     1,
+		MaxFreq:           1.2e6,
+		Sharpness:         4,
+		SharpGuard:        2,
+		SharpRadius:       10,
+		MinRelToStrongest: 0.2,
+	}
+}
+
+// FindPeaks locates one-bin-wide local maxima that stand above both the
+// global noise floor and their local neighborhood, returning them in
+// increasing bin order.
+func FindPeaks(s *Spectrum, p PeakParams) []Peak {
+	n := len(s.Bins)
+	if n == 0 {
+		return nil
+	}
+	if p.Threshold <= 0 {
+		p.Threshold = 4
+	}
+	if p.MinSeparation <= 0 {
+		p.MinSeparation = 1
+	}
+	if p.Sharpness <= 0 {
+		p.Sharpness = 4
+	}
+	if p.SharpGuard <= 0 {
+		p.SharpGuard = 2
+	}
+	if p.SharpRadius <= p.SharpGuard {
+		p.SharpRadius = p.SharpGuard + 6
+	}
+	limit := n
+	if p.MaxFreq > 0 {
+		limit = int(p.MaxFreq/s.BinWidth()) + 1
+		if limit > n {
+			limit = n
+		}
+	}
+	floor := s.NoiseFloor()
+	cut := floor * p.Threshold
+	var peaks []Peak
+	neighborhood := make([]float64, 0, 2*(p.SharpRadius-p.SharpGuard+1))
+	for k := 0; k < limit; k++ {
+		m := s.Mag(k)
+		if m <= cut {
+			continue
+		}
+		// Local maximum within the separation radius (cyclic edges are
+		// not wrapped: the band of interest sits well inside the
+		// spectrum).
+		isMax := true
+		for d := 1; d <= p.MinSeparation && isMax; d++ {
+			if k-d >= 0 && s.Mag(k-d) > m {
+				isMax = false
+			}
+			if k+d < n && s.Mag(k+d) >= m {
+				isMax = false
+			}
+		}
+		if !isMax {
+			continue
+		}
+		// Local neighborhood statistics (median, MAD) for the
+		// sharpness and excess tests.
+		neighborhood = neighborhood[:0]
+		for d := p.SharpGuard + 1; d <= p.SharpRadius; d++ {
+			if k-d >= 0 {
+				neighborhood = append(neighborhood, s.Mag(k-d))
+			}
+			if k+d < n {
+				neighborhood = append(neighborhood, s.Mag(k+d))
+			}
+		}
+		if len(neighborhood) > 0 {
+			local := medianFloat(neighborhood)
+			// Sharpness == 1 is the sentinel for "ratio test off".
+			if p.Sharpness != 1 && local > 0 && m < p.Sharpness*local {
+				continue
+			}
+			if p.ExcessSigma > 0 {
+				for i := range neighborhood {
+					neighborhood[i] = math.Abs(neighborhood[i] - local)
+				}
+				mad := medianFloat(neighborhood)
+				if floorGuard := 0.02 * local; mad < floorGuard {
+					mad = floorGuard
+				}
+				if m-local < p.ExcessSigma*mad {
+					continue
+				}
+			}
+		}
+		peaks = append(peaks, Peak{Bin: k, Freq: s.BinFreq(k), Val: s.Bins[k], Mag: m})
+	}
+	if p.MinRelToStrongest > 0 && len(peaks) > 1 {
+		var strongest float64
+		for _, pk := range peaks {
+			if pk.Mag > strongest {
+				strongest = pk.Mag
+			}
+		}
+		kept := peaks[:0]
+		for _, pk := range peaks {
+			if pk.Mag >= p.MinRelToStrongest*strongest {
+				kept = append(kept, pk)
+			}
+		}
+		peaks = kept
+	}
+	return peaks
+}
+
+// medianFloat returns the median of x, reordering x in the process.
+func medianFloat(x []float64) float64 {
+	sort.Float64s(x)
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return x[n/2]
+	}
+	return 0.5 * (x[n/2-1] + x[n/2])
+}
+
+// RefineFreq improves a peak's frequency estimate beyond bin resolution
+// by comparing the phase of the tone between two half-length windows of
+// the original capture. For a single tone at frequency f, the phase
+// advance between windows offset by Δt samples is 2π·f·Δt/fs; unwrapping
+// the advance relative to the bin-center prediction yields a sub-bin
+// correction. Returns the refined frequency in Hz.
+func RefineFreq(samples []complex128, sampleRate float64, p Peak) float64 {
+	n := len(samples)
+	if n < 8 {
+		return p.Freq
+	}
+	half := n / 2
+	fNorm := p.Freq / sampleRate
+	a := Goertzel(samples[:half], fNorm)
+	b := Goertzel(samples[half:], fNorm)
+	if cmplx.Abs(a) == 0 || cmplx.Abs(b) == 0 {
+		return p.Freq
+	}
+	// Goertzel references phase to its window start, so b carries the
+	// tone's full rotation across `half` samples; remove the probe
+	// frequency's share, leaving the residual advance. The residual
+	// frequency is advance/(2π·half) cycles per sample.
+	probe := cmplx.Exp(complex(0, -2*math.Pi*fNorm*float64(half)))
+	adv := cmplx.Phase(b * probe * cmplx.Conj(a))
+	df := adv / (2 * math.Pi * float64(half)) * sampleRate
+	return p.Freq + df
+}

@@ -1,0 +1,69 @@
+package dsp
+
+import "math"
+
+// Window is a real-valued taper applied to a capture before spectral
+// analysis.
+type Window []float64
+
+// Rectangular returns the all-ones window of length n (no tapering).
+func Rectangular(n int) Window {
+	w := make(Window, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// Hann returns the Hann (raised-cosine) window of length n. Caraoke's
+// spike detection benefits from Hann's low sidelobes when strong and
+// weak transponders share the band.
+func Hann(n int) Window {
+	w := make(Window, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// Hamming returns the Hamming window of length n.
+func Hamming(n int) Window {
+	w := make(Window, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// Apply multiplies src by the window element-wise into dst and returns
+// dst. dst may alias src. Panics if lengths differ.
+func (w Window) Apply(dst, src []complex128) []complex128 {
+	if len(dst) != len(src) || len(src) != len(w) {
+		panic("dsp: window/buffer length mismatch")
+	}
+	for i := range src {
+		dst[i] = src[i] * complex(w[i], 0)
+	}
+	return dst
+}
+
+// Gain returns the coherent gain of the window (mean of its samples),
+// used to rescale spike amplitudes back to channel estimates.
+func (w Window) Gain() float64 {
+	var s float64
+	for _, v := range w {
+		s += v
+	}
+	if len(w) == 0 {
+		return 0
+	}
+	return s / float64(len(w))
+}

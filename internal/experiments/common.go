@@ -1,0 +1,138 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation (§12) plus its analytical claims, using the
+// simulation substrates. Each experiment returns a structured result
+// with a Rows method for tabular rendering; cmd/caraoke-bench prints
+// them all and the root bench_test.go wraps each in a testing.B
+// benchmark. EXPERIMENTS.md records paper-versus-measured values.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"caraoke/internal/core"
+	"caraoke/internal/geom"
+	"caraoke/internal/phy"
+	"caraoke/internal/rfsim"
+	"caraoke/internal/transponder"
+)
+
+// Table is a generic experiment output.
+type Table struct {
+	Title   string
+	Columns []string
+	Cells   [][]string
+	// Notes carries paper-vs-measured commentary.
+	Notes []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Cells {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Cells {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// scene is the shared experimental fixture: a triangle-array reader on
+// a pole beside a road.
+type scene struct {
+	params  core.Params
+	capture rfsim.CaptureConfig
+	array   rfsim.Array
+	rng     *rand.Rand
+}
+
+func newScene(seed int64) (*scene, error) {
+	params := core.DefaultParams()
+	arr, err := rfsim.TriangleOnPole(geom.V(0, -5, 0), 3.8, geom.V(1, 0, 0), 60, params.Wavelength/2)
+	if err != nil {
+		return nil, err
+	}
+	return &scene{
+		params: params,
+		capture: rfsim.CaptureConfig{
+			SampleRate: params.SampleRate,
+			NumSamples: phy.SamplesPerResponse(params.SampleRate),
+			Wavelength: params.Wavelength,
+			NoiseSigma: 2e-6,
+		},
+		array: arr,
+		rng:   rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// ringDevices places m population-sampled transponders on a ring of
+// comparable distances around the pole — the amplitude regime of the
+// paper's Fig 11 methodology (individually collected signals summed in
+// post-processing).
+func (s *scene) ringDevices(m int, firstSerial uint64) []*transponder.Device {
+	devs := transponder.NewPopulation(transponder.DefaultPopulationParams(), m, firstSerial, s.rng)
+	for _, d := range devs {
+		ang := s.rng.Float64() * 2 * math.Pi
+		rad := 12 + s.rng.Float64()*6
+		d.Pos = geom.V(rad*math.Cos(ang), -5+rad*math.Sin(ang), 0)
+	}
+	return devs
+}
+
+// collide synthesizes one query's collision capture.
+func (s *scene) collide(devs []*transponder.Device) (*rfsim.MultiCapture, error) {
+	txs := make([]rfsim.Transmission, 0, len(devs))
+	for _, d := range devs {
+		tx, err := d.Reply(s.params.ReaderLO, s.params.SampleRate, 0, s.rng)
+		if err != nil {
+			return nil, err
+		}
+		txs = append(txs, tx)
+	}
+	return rfsim.Capture(s.capture, s.array, txs, s.rng)
+}
+
+// collideQueries synthesizes k successive queries.
+func (s *scene) collideQueries(devs []*transponder.Device, k int) ([]*rfsim.MultiCapture, error) {
+	mcs := make([]*rfsim.MultiCapture, 0, k)
+	for q := 0; q < k; q++ {
+		mc, err := s.collide(devs)
+		if err != nil {
+			return nil, err
+		}
+		mcs = append(mcs, mc)
+	}
+	return mcs, nil
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", 100*v)
+}

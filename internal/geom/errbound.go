@@ -1,0 +1,56 @@
+package geom
+
+import "math"
+
+// FeetPerMeter converts meters to feet (paper figures use feet).
+const FeetPerMeter = 3.28084
+
+// Feet converts a length in feet to meters.
+func Feet(ft float64) float64 { return ft / FeetPerMeter }
+
+// MaxXErrorAtAngle evaluates the localization x-error bound of §7
+// footnote 11 at a specific AoA: |√(b²) − √(b² + (l·w)²)| / tan α,
+// where b is the antenna height, l the number of same-direction lanes
+// and w the lane width. The bound captures the worst displacement along
+// the road of the hyperbola branch across the lanes the car could be
+// in. All lengths share a unit (the caller's choice); the result is in
+// the same unit.
+func MaxXErrorAtAngle(height float64, lanes int, laneWidth, alpha float64) float64 {
+	lw := float64(lanes) * laneWidth
+	num := math.Abs(height - math.Sqrt(height*height+lw*lw))
+	t := math.Tan(alpha)
+	if t == 0 {
+		return math.Inf(1)
+	}
+	return num / math.Abs(t)
+}
+
+// MaxXError evaluates the bound at the worst usable angle. Caraoke's
+// triangular antenna switching guarantees the chosen pair sees the car
+// between 60° and 120° (§6, Fig 6); within that range tan α is smallest
+// in magnitude at the 60°/120° edges, which maximizes the bound. For
+// the paper's example — 13 ft pole, two same-direction lanes of 12 ft —
+// this yields the quoted ≈8.5 ft.
+func MaxXError(height float64, lanes int, laneWidth float64) float64 {
+	return MaxXErrorAtAngle(height, lanes, laneWidth, Radians(60))
+}
+
+// SpeedErrorBound returns the worst-case relative speed estimation
+// error of §7 for two readers separated by `separation`, each
+// localizing with at most maxXErr position error, and clocks
+// synchronized to within syncErr. The car travels at trueSpeed
+// (units: lengths in meters, time in seconds, speed in m/s).
+//
+// The position term contributes 2·maxXErr/separation; the timing term
+// contributes syncErr/(separation/trueSpeed). Both are relative errors
+// of first order, and the paper's examples (≤5.5 % at 20 mph, ≤6.8 % at
+// 50 mph over ≈110 m with tens-of-ms NTP sync) follow from exactly
+// these two terms.
+func SpeedErrorBound(separation, maxXErr, syncErr, trueSpeed float64) float64 {
+	if separation <= 0 {
+		return math.Inf(1)
+	}
+	posTerm := 2 * maxXErr / separation
+	timeTerm := syncErr * trueSpeed / separation
+	return posTerm + timeTerm
+}

@@ -1,0 +1,203 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// SearchRegion bounds the two-conic intersection search to the patch of
+// road the readers cover (§6 footnote 10: of the up-to-four
+// intersection points, only the one on the road matters — the rest land
+// on the sidewalk and are rejected by these bounds).
+type SearchRegion struct {
+	XMin, XMax float64
+	YMin, YMax float64
+}
+
+// Contains reports whether the point lies inside the region.
+func (r SearchRegion) Contains(p Vec2) bool {
+	return p.X >= r.XMin && p.X <= r.XMax && p.Y >= r.YMin && p.Y <= r.YMax
+}
+
+// IntersectConics finds the points inside region where both conics
+// vanish. It scans q1's branches over x (steps chosen from the region
+// width), watching the sign of q2 along each branch, and polishes each
+// bracketed root with bisection. Duplicate hits within mergeTol are
+// merged.
+func IntersectConics(q1, q2 Conic, region SearchRegion, steps int, mergeTol float64) []Vec2 {
+	if steps < 8 {
+		steps = 8
+	}
+	if mergeTol <= 0 {
+		mergeTol = 1e-3
+	}
+	dx := (region.XMax - region.XMin) / float64(steps)
+	if dx <= 0 {
+		return nil
+	}
+	// Track q1's two branches separately: SolveY returns roots in a
+	// stable order (low, high), so index selects the branch.
+	type sample struct {
+		x, y, g float64
+		ok      bool
+	}
+	prev := [2]sample{}
+	var hits []Vec2
+	for i := 0; i <= steps; i++ {
+		x := region.XMin + float64(i)*dx
+		ys := q1.SolveY(x)
+		cur := [2]sample{}
+		for bi := 0; bi < 2; bi++ {
+			if bi < len(ys) {
+				y := ys[bi]
+				if y >= region.YMin && y <= region.YMax {
+					cur[bi] = sample{x: x, y: y, g: q2.Eval(x, y), ok: true}
+				}
+			}
+			// A single root serves both branch slots so a tangent
+			// crossing is still tracked.
+			if len(ys) == 1 && bi == 1 {
+				cur[1] = cur[0]
+			}
+		}
+		for bi := 0; bi < 2; bi++ {
+			p, c := prev[bi], cur[bi]
+			if p.ok && c.ok && (p.g == 0 || c.g == 0 || (p.g < 0) != (c.g < 0)) {
+				if pt, ok := refineOnBranch(q1, q2, p.x, c.x, bi, region); ok {
+					hits = append(hits, pt)
+				}
+			}
+		}
+		prev = cur
+	}
+	return mergePoints(hits, mergeTol)
+}
+
+// refineOnBranch bisects q2's sign change along q1's branch bi between
+// x-coordinates xa and xb.
+func refineOnBranch(q1, q2 Conic, xa, xb float64, bi int, region SearchRegion) (Vec2, bool) {
+	branchY := func(x float64) (float64, bool) {
+		ys := q1.SolveY(x)
+		if len(ys) == 0 {
+			return 0, false
+		}
+		if bi >= len(ys) {
+			return ys[len(ys)-1], true
+		}
+		return ys[bi], true
+	}
+	ya, oka := branchY(xa)
+	yb, okb := branchY(xb)
+	if !oka || !okb {
+		return Vec2{}, false
+	}
+	ga := q2.Eval(xa, ya)
+	gb := q2.Eval(xb, yb)
+	if ga == 0 {
+		return Vec2{xa, ya}, region.Contains(Vec2{xa, ya})
+	}
+	if gb == 0 {
+		return Vec2{xb, yb}, region.Contains(Vec2{xb, yb})
+	}
+	if (ga < 0) == (gb < 0) {
+		return Vec2{}, false
+	}
+	for iter := 0; iter < 80; iter++ {
+		xm := 0.5 * (xa + xb)
+		ym, ok := branchY(xm)
+		if !ok {
+			return Vec2{}, false
+		}
+		gm := q2.Eval(xm, ym)
+		if math.Abs(gm) < 1e-12 || xb-xa < 1e-12 {
+			return Vec2{xm, ym}, region.Contains(Vec2{xm, ym})
+		}
+		if (gm < 0) == (ga < 0) {
+			xa, ga = xm, gm
+		} else {
+			xb = xm
+		}
+	}
+	xm := 0.5 * (xa + xb)
+	ym, ok := branchY(xm)
+	if !ok {
+		return Vec2{}, false
+	}
+	return Vec2{xm, ym}, region.Contains(Vec2{xm, ym})
+}
+
+func mergePoints(pts []Vec2, tol float64) []Vec2 {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+	var out []Vec2
+	for _, p := range pts {
+		dup := false
+		for _, q := range out {
+			if p.Dist(q) < tol {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LocalizeTwoReaders intersects the road-plane curves implied by two
+// AoA measurements from readers on (typically) opposite sides of the
+// road and returns the candidate positions inside the region. With
+// clean measurements exactly one candidate survives the region filter
+// (§6: "only one of these points is located on the road"). Under AoA
+// noise the two curves can become tangent-but-disjoint; the solver then
+// falls back to the point on curve 1 closest to curve 2 (Sampson
+// distance), which is the least-squares position for small errors.
+func LocalizeTwoReaders(cone1, cone2 Cone, zPlane float64, region SearchRegion) []Vec2 {
+	q1 := cone1.PlaneConic(zPlane)
+	q2 := cone2.PlaneConic(zPlane)
+	pts := IntersectConics(q1, q2, region, 400, 0.05)
+	if len(pts) > 0 {
+		return pts
+	}
+	if p, ok := nearestApproach(q1, q2, region, 400); ok {
+		return []Vec2{p}
+	}
+	return nil
+}
+
+// nearestApproach scans q1's branches inside the region for the point
+// with the smallest Sampson distance |q2(p)|/‖∇q2(p)‖ to the second
+// curve.
+func nearestApproach(q1, q2 Conic, region SearchRegion, steps int) (Vec2, bool) {
+	dx := (region.XMax - region.XMin) / float64(steps)
+	if dx <= 0 {
+		return Vec2{}, false
+	}
+	best := Vec2{}
+	bestD := math.Inf(1)
+	for i := 0; i <= steps; i++ {
+		x := region.XMin + float64(i)*dx
+		for _, y := range q1.SolveY(x) {
+			if y < region.YMin || y > region.YMax {
+				continue
+			}
+			g := q2.Eval(x, y)
+			gx := 2*q2.A*x + q2.B*y + q2.D
+			gy := 2*q2.C*y + q2.B*x + q2.E
+			grad := math.Hypot(gx, gy)
+			if grad < 1e-12 {
+				continue
+			}
+			if d := math.Abs(g) / grad; d < bestD {
+				bestD = d
+				best = Vec2{x, y}
+			}
+		}
+	}
+	return best, !math.IsInf(bestD, 1)
+}

@@ -1,0 +1,147 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIntersectConicsCircles(t *testing.T) {
+	// Circles of radius 5 centered at (0,0) and (6,0): intersections at
+	// (3, ±4).
+	q1 := Conic{A: 1, C: 1, F: -25}
+	q2 := Conic{A: 1, C: 1, D: -12, F: 36 - 25}
+	region := SearchRegion{XMin: -10, XMax: 10, YMin: -10, YMax: 10}
+	pts := IntersectConics(q1, q2, region, 200, 0.05)
+	if len(pts) != 2 {
+		t.Fatalf("got %d intersections %v, want 2", len(pts), pts)
+	}
+	for _, p := range pts {
+		if !almostEq(p.X, 3, 1e-6) || !almostEq(math.Abs(p.Y), 4, 1e-6) {
+			t.Errorf("intersection %v, want (3, ±4)", p)
+		}
+	}
+}
+
+func TestIntersectConicsRegionFilter(t *testing.T) {
+	q1 := Conic{A: 1, C: 1, F: -25}
+	q2 := Conic{A: 1, C: 1, D: -12, F: 11}
+	region := SearchRegion{XMin: -10, XMax: 10, YMin: 0, YMax: 10}
+	pts := IntersectConics(q1, q2, region, 200, 0.05)
+	if len(pts) != 1 || !almostEq(pts[0].Y, 4, 1e-6) {
+		t.Fatalf("region filter failed: %v", pts)
+	}
+}
+
+func TestIntersectConicsDisjoint(t *testing.T) {
+	q1 := Conic{A: 1, C: 1, F: -1}         // unit circle
+	q2 := Conic{A: 1, C: 1, D: -20, F: 99} // circle at (10,0), r=1
+	region := SearchRegion{XMin: -15, XMax: 15, YMin: -15, YMax: 15}
+	if pts := IntersectConics(q1, q2, region, 300, 0.05); len(pts) != 0 {
+		t.Fatalf("disjoint circles intersected: %v", pts)
+	}
+}
+
+func TestLocalizeTwoReadersRecoversPosition(t *testing.T) {
+	// Two readers on opposite sides of a 10 m road, poles 4 m high,
+	// baselines along the road. A car windshield transponder at z=0
+	// (road plane) must be recovered from the two AoA cones.
+	rng := rand.New(rand.NewSource(91))
+	apex1 := Vec3{0, -5, 4}
+	apex2 := Vec3{18, 5, 4}
+	axis := Vec3{1, 0, 0}
+	region := SearchRegion{XMin: 1, XMax: 30, YMin: -4.9, YMax: 4.9}
+	for i := 0; i < 25; i++ {
+		truth := Vec3{3 + 14*rng.Float64(), -4 + 8*rng.Float64(), 0}
+		c1 := coneThrough(apex1, axis, truth)
+		c2 := coneThrough(apex2, axis, truth)
+		pts := LocalizeTwoReaders(c1, c2, 0, region)
+		best := math.Inf(1)
+		for _, p := range pts {
+			if d := p.Dist(Vec2{truth.X, truth.Y}); d < best {
+				best = d
+			}
+		}
+		if best > 0.05 {
+			t.Fatalf("run %d: truth %v best candidate error %.3f m (candidates %v)", i, truth, best, pts)
+		}
+	}
+}
+
+func TestLocalizeTwoReadersTiltedBaselines(t *testing.T) {
+	// The prototype tilts baselines 60° toward the road (§12.2); the
+	// plane curves become ellipses but localization must still work.
+	rng := rand.New(rand.NewSource(92))
+	tilt := Vec3{0.5, 0, -math.Sqrt(3) / 2}
+	tilt2 := Vec3{0.5, 0, math.Sqrt(3) / 2} // mirrored tilt on the far pole
+	apex1 := Vec3{0, -5, 4}
+	apex2 := Vec3{18, 5, 4}
+	region := SearchRegion{XMin: 1, XMax: 30, YMin: -4.9, YMax: 4.9}
+	hits := 0
+	const runs = 25
+	for i := 0; i < runs; i++ {
+		truth := Vec3{4 + 10*rng.Float64(), -4 + 8*rng.Float64(), 0}
+		c1 := coneThrough(apex1, tilt, truth)
+		c2 := coneThrough(apex2, tilt2.Scale(-1), truth)
+		pts := LocalizeTwoReaders(c1, c2, 0, region)
+		for _, p := range pts {
+			if p.Dist(Vec2{truth.X, truth.Y}) < 0.05 {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < runs {
+		t.Fatalf("recovered %d/%d tilted-baseline positions", hits, runs)
+	}
+}
+
+func TestMaxXErrorMatchesPaper(t *testing.T) {
+	// §7: "for a four lane street i.e. two lanes in each direction,
+	// where the antennas are attached to a street light pole whose
+	// height is 13 feet, the maximum error is 8.5 feet" (12 ft lanes,
+	// worst usable angle 60°).
+	got := MaxXError(13, 2, 12)
+	if math.Abs(got-8.5) > 0.35 {
+		t.Errorf("MaxXError = %.2f ft, paper quotes ≈8.5 ft", got)
+	}
+}
+
+func TestSpeedErrorBoundMatchesPaper(t *testing.T) {
+	// §7: poles separated by ≈360 ft (≈110 m); at 20 mph max error
+	// 5.5 %, at 50 mph 6.8 %, using the 8.5 ft position bound and
+	// tens-of-ms NTP sync.
+	sep := Feet(360)
+	posErr := Feet(8.5)
+	syncErr := 0.040 // 40 ms
+	mph := func(v float64) float64 { return v * 0.44704 }
+	at20 := SpeedErrorBound(sep, posErr, syncErr, mph(20))
+	at50 := SpeedErrorBound(sep, posErr, syncErr, mph(50))
+	if at20 > 0.055+0.005 {
+		t.Errorf("bound at 20 mph = %.3f, paper quotes ≤0.055", at20)
+	}
+	if at50 > 0.068+0.007 {
+		t.Errorf("bound at 50 mph = %.3f, paper quotes ≤0.068", at50)
+	}
+	if at50 <= at20 {
+		t.Error("bound should grow with speed (timing term)")
+	}
+}
+
+func TestSpeedErrorBoundDegenerate(t *testing.T) {
+	if !math.IsInf(SpeedErrorBound(0, 1, 0.01, 10), 1) {
+		t.Error("zero separation should yield +Inf")
+	}
+}
+
+func TestMaxXErrorAtAngleMonotone(t *testing.T) {
+	// Error shrinks toward broadside.
+	e60 := MaxXErrorAtAngle(4, 2, 3.6, Radians(60))
+	e90 := MaxXErrorAtAngle(4, 2, 3.6, Radians(89))
+	if e90 >= e60 {
+		t.Errorf("error at 89° (%g) not below error at 60° (%g)", e90, e60)
+	}
+	if !math.IsInf(MaxXErrorAtAngle(4, 2, 3.6, 0), 1) {
+		t.Error("zero angle should yield +Inf")
+	}
+}

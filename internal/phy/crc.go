@@ -1,0 +1,21 @@
+package phy
+
+// CRC16 computes the CRC-16/CCITT-FALSE checksum (polynomial 0x1021,
+// initial value 0xFFFF, no reflection, no final XOR) over data. The
+// transponder frame uses it to let the Caraoke decoder know when
+// coherent combining has accumulated enough SNR (§8: "the reader keeps
+// combining collisions until the decoded id passes the checksum test").
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}

@@ -1,0 +1,65 @@
+package phy
+
+import "fmt"
+
+// Manchester coding: each data bit becomes two OOK chips. A "1" is
+// carrier-on then carrier-off; a "0" is carrier-off then carrier-on.
+// Every bit therefore spends exactly half its duration transmitting,
+// which gives the response a 0.5 mean — the DC term that becomes the
+// CFO spike Caraoke detects (§3: s(t) = 0.5 + s'(t) with s' zero-mean).
+
+// ManchesterEncode expands data bits into OOK chips (0 = off, 1 = on).
+func ManchesterEncode(bits Bits) Bits {
+	chips := make(Bits, 0, len(bits)*ChipsPerBit)
+	for _, b := range bits {
+		if b != 0 {
+			chips = append(chips, 1, 0)
+		} else {
+			chips = append(chips, 0, 1)
+		}
+	}
+	return chips
+}
+
+// ManchesterDecode collapses OOK chips back into data bits. It applies
+// hard decisions chip-pair by chip-pair; soft decoding over noisy
+// amplitudes lives in DemodulateSoft.
+func ManchesterDecode(chips Bits) (Bits, error) {
+	if len(chips)%ChipsPerBit != 0 {
+		return nil, fmt.Errorf("phy: chip stream length %d is not a multiple of %d", len(chips), ChipsPerBit)
+	}
+	bits := make(Bits, 0, len(chips)/ChipsPerBit)
+	for i := 0; i < len(chips); i += ChipsPerBit {
+		hi, lo := chips[i], chips[i+1]
+		switch {
+		case hi == 1 && lo == 0:
+			bits = append(bits, 1)
+		case hi == 0 && lo == 1:
+			bits = append(bits, 0)
+		default:
+			return nil, fmt.Errorf("phy: invalid Manchester chip pair (%d,%d) at bit %d", hi, lo, i/ChipsPerBit)
+		}
+	}
+	return bits, nil
+}
+
+// DemodulateSoft converts per-chip energy measurements into data bits
+// by comparing the two halves of each bit period: Manchester guarantees
+// exactly one half is "on", so the larger half decides the bit. This is
+// robust to unknown absolute scale, which is what the coherent combiner
+// hands the decoder (§8: amplitudes are N·s(t) plus residual
+// interference).
+func DemodulateSoft(chipEnergy []float64) (Bits, error) {
+	if len(chipEnergy)%ChipsPerBit != 0 {
+		return nil, fmt.Errorf("phy: chip energy length %d is not a multiple of %d", len(chipEnergy), ChipsPerBit)
+	}
+	bits := make(Bits, 0, len(chipEnergy)/ChipsPerBit)
+	for i := 0; i < len(chipEnergy); i += ChipsPerBit {
+		if chipEnergy[i] >= chipEnergy[i+1] {
+			bits = append(bits, 1)
+		} else {
+			bits = append(bits, 0)
+		}
+	}
+	return bits, nil
+}

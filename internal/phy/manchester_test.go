@@ -1,0 +1,90 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestManchesterEncodeBasic(t *testing.T) {
+	chips := ManchesterEncode(Bits{1, 0})
+	want := Bits{1, 0, 0, 1}
+	if len(chips) != len(want) {
+		t.Fatalf("chip length %d, want %d", len(chips), len(want))
+	}
+	for i := range want {
+		if chips[i] != want[i] {
+			t.Fatalf("chips = %v, want %v", chips, want)
+		}
+	}
+}
+
+func TestManchesterRoundTripProperty(t *testing.T) {
+	fn := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := make(Bits, int(n)+1)
+		for i := range bits {
+			bits[i] = uint8(rng.Intn(2))
+		}
+		decoded, err := ManchesterDecode(ManchesterEncode(bits))
+		if err != nil || len(decoded) != len(bits) {
+			return false
+		}
+		for i := range bits {
+			if decoded[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManchesterDecodeRejectsInvalid(t *testing.T) {
+	if _, err := ManchesterDecode(Bits{1, 1}); err == nil {
+		t.Error("chip pair (1,1) accepted")
+	}
+	if _, err := ManchesterDecode(Bits{0, 0}); err == nil {
+		t.Error("chip pair (0,0) accepted")
+	}
+	if _, err := ManchesterDecode(Bits{1}); err == nil {
+		t.Error("odd chip count accepted")
+	}
+}
+
+func TestManchesterDCBalance(t *testing.T) {
+	// Manchester guarantees exactly half the chips are "on" regardless
+	// of data — the property that creates the CFO spike (§3 footnote 6).
+	rng := rand.New(rand.NewSource(61))
+	bits := make(Bits, FrameBits)
+	for i := range bits {
+		bits[i] = uint8(rng.Intn(2))
+	}
+	chips := ManchesterEncode(bits)
+	on := 0
+	for _, c := range chips {
+		on += int(c)
+	}
+	if on != len(chips)/2 {
+		t.Errorf("%d of %d chips on, want exactly half", on, len(chips))
+	}
+}
+
+func TestDemodulateSoft(t *testing.T) {
+	energy := []float64{5.0, 1.0, 0.2, 4.0, 3.0, 3.0}
+	bits, err := DemodulateSoft(energy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Bits{1, 0, 1} // ties resolve to 1
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("DemodulateSoft = %v, want %v", bits, want)
+		}
+	}
+	if _, err := DemodulateSoft([]float64{1}); err == nil {
+		t.Error("odd energy count accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+const testSampleRate = 4e6
+
+func TestTimingConstantsConsistent(t *testing.T) {
+	if got := FrameBits * BitDuration; got != ResponseDuration {
+		t.Errorf("FrameBits×BitDuration = %v, want %v", got, ResponseDuration)
+	}
+	if got := SamplesPerResponse(testSampleRate); got != 2048 {
+		t.Errorf("SamplesPerResponse(4 MHz) = %d, want 2048", got)
+	}
+	if got := SamplesPerChip(testSampleRate); got != 4 {
+		t.Errorf("SamplesPerChip(4 MHz) = %d, want 4", got)
+	}
+	if CarrierSenseWindow <= QueryDuration+TurnaroundDelay-1 {
+		t.Error("carrier-sense window shorter than query+turnaround (§9)")
+	}
+}
+
+func TestModulateFrameLength(t *testing.T) {
+	f := &Frame{Agency: 1, Serial: 42}
+	env, err := ModulateFrame(f, testSampleRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env) != SamplesPerResponse(testSampleRate) {
+		t.Fatalf("envelope %d samples, want %d", len(env), SamplesPerResponse(testSampleRate))
+	}
+	// Envelope is exactly 0/1 valued and half-on (Manchester balance).
+	on := 0
+	for _, v := range env {
+		if v != 0 && v != 1 {
+			t.Fatalf("envelope value %g not in {0,1}", v)
+		}
+		if v == 1 {
+			on++
+		}
+	}
+	if on != len(env)/2 {
+		t.Errorf("%d of %d samples on, want exactly half", on, len(env))
+	}
+}
+
+func TestModulateDemodulateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 20; i++ {
+		f := randomFrame(rng)
+		env, err := ModulateFrame(f, testSampleRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DemodulateFrame(env, testSampleRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *f {
+			t.Fatalf("round trip mismatch: got %+v want %+v", got, f)
+		}
+	}
+}
+
+func TestDemodulateWithNoiseAndScale(t *testing.T) {
+	// The soft demodulator must survive additive noise and unknown
+	// scaling — the conditions after coherent combining (§8).
+	rng := rand.New(rand.NewSource(72))
+	f := randomFrame(rng)
+	env, err := ModulateFrame(f, testSampleRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := make([]float64, len(env))
+	for i := range env {
+		noisy[i] = 3.7*env[i] + rng.NormFloat64()*0.4
+	}
+	got, err := DemodulateFrame(noisy, testSampleRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *f {
+		t.Fatalf("noisy round trip mismatch: got %+v want %+v", got, f)
+	}
+}
+
+func TestDemodulateEnvelopeShortInput(t *testing.T) {
+	if _, err := DemodulateEnvelope(make([]float64, 100), testSampleRate); err == nil {
+		t.Error("short envelope accepted")
+	}
+}
+
+func TestModulateFrameLowSampleRate(t *testing.T) {
+	f := &Frame{}
+	if _, err := ModulateFrame(f, 1e5); err == nil {
+		t.Error("sample rate below chip rate accepted")
+	}
+}
+
+func TestEnvelopePanicsOnBadChipRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero samplesPerChip")
+		}
+	}()
+	Envelope(Bits{1}, 0)
+}

@@ -1,0 +1,130 @@
+// Package reader models the Caraoke reader device (§4, §9, §10): it
+// queries nearby transponders, digitizes the resulting collision on
+// its antenna array, runs the core algorithms, and packages the result
+// for the telemetry uplink. It also implements the reader-side CSMA
+// MAC of §9 and the duty-cycle schedule of §10.
+package reader
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"caraoke/internal/core"
+	"caraoke/internal/geom"
+	"caraoke/internal/phy"
+	"caraoke/internal/rfsim"
+	"caraoke/internal/telemetry"
+	"caraoke/internal/transponder"
+)
+
+// Reader is one pole-mounted Caraoke unit.
+type Reader struct {
+	ID      uint32
+	Array   rfsim.Array
+	Params  core.Params
+	Capture rfsim.CaptureConfig
+	// QueryAmplitude is the trigger sinewave's transmit amplitude; it
+	// sets the ~100-foot interrogation range together with transponder
+	// sensitivity.
+	QueryAmplitude float64
+
+	seq uint32
+}
+
+// Config bundles reader construction parameters.
+type Config struct {
+	ID         uint32
+	PoleBase   geom.Vec3 // road-plane position of the pole
+	PoleHeight float64   // meters (paper: 12.5–13 feet ≈ 3.8–4 m)
+	RoadDir    geom.Vec3 // along-street direction
+	TiltDeg    float64   // antenna-plane tilt (paper: 60°)
+	NoiseSigma float64   // receiver noise, linear amplitude per sample
+	ADCBits    int       // 12 in the prototype; 0 disables quantization
+}
+
+// New builds a reader with the prototype's triangle array and capture
+// configuration (4 MHz complex sampling, 512 µs window).
+func New(cfg Config) (*Reader, error) {
+	params := core.DefaultParams()
+	arr, err := rfsim.TriangleOnPole(cfg.PoleBase, cfg.PoleHeight, cfg.RoadDir, cfg.TiltDeg, params.Wavelength/2)
+	if err != nil {
+		return nil, fmt.Errorf("reader: %w", err)
+	}
+	return &Reader{
+		ID:     cfg.ID,
+		Array:  arr,
+		Params: params,
+		Capture: rfsim.CaptureConfig{
+			SampleRate: params.SampleRate,
+			NumSamples: phy.SamplesPerResponse(params.SampleRate),
+			Wavelength: params.Wavelength,
+			NoiseSigma: cfg.NoiseSigma,
+			ADCBits:    cfg.ADCBits,
+		},
+		QueryAmplitude: 1.0,
+	}, nil
+}
+
+// Center returns the antenna array center.
+func (r *Reader) Center() geom.Vec3 { return r.Array.Center() }
+
+// Query triggers every in-range transponder once and captures the
+// collision. Out-of-range or battery-dead devices stay silent (§3).
+func (r *Reader) Query(devs []*transponder.Device, rng *rand.Rand) (*rfsim.MultiCapture, error) {
+	var txs []rfsim.Transmission
+	center := r.Center()
+	for _, d := range devs {
+		if !d.TriggeredFrom(center, r.QueryAmplitude, r.Capture.Wavelength) {
+			continue
+		}
+		tx, err := d.Reply(r.Params.ReaderLO, r.Params.SampleRate, 0, rng)
+		if err != nil {
+			return nil, fmt.Errorf("reader %d: %w", r.ID, err)
+		}
+		txs = append(txs, tx)
+	}
+	return rfsim.Capture(r.Capture, r.Array, txs, rng)
+}
+
+// Measure performs one duty-cycle active window: `queries` back-to-back
+// queries (§10 allows up to 10 per 10 ms window), multi-query spike
+// analysis, and the §5 count.
+func (r *Reader) Measure(devs []*transponder.Device, queries int, rng *rand.Rand) (core.CountResult, error) {
+	if queries <= 0 {
+		return core.CountResult{}, fmt.Errorf("reader %d: queries must be positive", r.ID)
+	}
+	mcs := make([]*rfsim.MultiCapture, 0, queries)
+	for q := 0; q < queries; q++ {
+		mc, err := r.Query(devs, rng)
+		if err != nil {
+			return core.CountResult{}, err
+		}
+		mcs = append(mcs, mc)
+	}
+	spikes, err := core.AnalyzeCaptures(mcs, r.Params)
+	if err != nil {
+		return core.CountResult{}, err
+	}
+	return core.CountFromSpikes(spikes), nil
+}
+
+// Report converts a measurement into a telemetry report stamped with
+// the reader's (NTP-disciplined) local time.
+func (r *Reader) Report(res core.CountResult, localTime time.Time) *telemetry.Report {
+	r.seq++
+	rep := &telemetry.Report{
+		ReaderID:  r.ID,
+		Seq:       r.seq,
+		Timestamp: localTime,
+		Count:     res.Count,
+	}
+	for _, s := range res.Spikes {
+		rep.Spikes = append(rep.Spikes, telemetry.SpikeRecord{
+			FreqHz:   s.Freq,
+			Multiple: s.Multiple,
+			Channels: s.Channels,
+		})
+	}
+	return rep
+}

@@ -1,0 +1,117 @@
+package reader
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"caraoke/internal/geom"
+	"caraoke/internal/transponder"
+)
+
+func testReader(t *testing.T, id uint32, base geom.Vec3) *Reader {
+	t.Helper()
+	r, err := New(Config{
+		ID:         id,
+		PoleBase:   base,
+		PoleHeight: 3.8,
+		RoadDir:    geom.V(1, 0, 0),
+		TiltDeg:    60,
+		NoiseSigma: 2e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestReaderMeasureCountsInRangeOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := testReader(t, 1, geom.V(0, -5, 0))
+	devs := transponder.NewPopulation(transponder.DefaultPopulationParams(), 4, 100, rng)
+	devs[0].Pos = geom.V(10, 0, 0)
+	devs[1].Pos = geom.V(-8, -2, 0)
+	devs[2].Pos = geom.V(20, 2, 0)
+	devs[3].Pos = geom.V(500, 0, 0) // far outside the ~30 m range
+	res, err := r.Measure(devs, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 3 {
+		t.Errorf("counted %d, want 3 (far device must not respond)", res.Count)
+	}
+}
+
+func TestReaderReportPackaging(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := testReader(t, 7, geom.V(0, -5, 0))
+	devs := transponder.NewPopulation(transponder.DefaultPopulationParams(), 2, 200, rng)
+	devs[0].Pos = geom.V(12, 0, 0)
+	devs[1].Pos = geom.V(18, -3, 0)
+	res, err := r.Measure(devs, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2015, 8, 17, 10, 0, 0, 0, time.UTC)
+	rep := r.Report(res, now)
+	if rep.ReaderID != 7 || rep.Seq != 1 || !rep.Timestamp.Equal(now) {
+		t.Fatalf("report header %+v", rep)
+	}
+	if rep.Count != res.Count || len(rep.Spikes) != len(res.Spikes) {
+		t.Fatalf("report payload mismatch: %+v vs %+v", rep, res)
+	}
+	if len(rep.Spikes) > 0 && len(rep.Spikes[0].Channels) != 3 {
+		t.Errorf("spike carries %d channels, want 3 (triangle array)", len(rep.Spikes[0].Channels))
+	}
+	rep2 := r.Report(res, now)
+	if rep2.Seq != 2 {
+		t.Errorf("sequence number not incrementing: %d", rep2.Seq)
+	}
+}
+
+func TestReaderMeasureValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := testReader(t, 1, geom.V(0, -5, 0))
+	if _, err := r.Measure(nil, 0, rng); err == nil {
+		t.Error("zero queries accepted")
+	}
+	if _, err := New(Config{RoadDir: geom.V(0, 0, 1)}); err == nil {
+		t.Error("vertical road direction accepted")
+	}
+}
+
+func TestMACCarrierSensePreventsHarmfulCollisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const readers = 6
+	span := 20 * time.Second
+	rate := 10.0 // aggressive: 10 queries/s per reader
+
+	without := SimulateMAC(readers, span, rate, false, rng)
+	with := SimulateMAC(readers, span, rate, true, rng)
+
+	if without.QueryResponseOverlaps == 0 {
+		t.Fatal("no harmful collisions without CSMA; contention model too weak to test")
+	}
+	if with.QueryResponseOverlaps != 0 {
+		t.Errorf("CSMA left %d harmful query/response collisions (§9 claims zero)", with.QueryResponseOverlaps)
+	}
+	if with.QueriesSent == 0 {
+		t.Error("CSMA starved all queries")
+	}
+	if with.QueriesDeferred == 0 {
+		t.Error("CSMA never deferred despite heavy contention")
+	}
+}
+
+func TestMACQueryQueryCollisionsAreAllowed(t *testing.T) {
+	// §9: query/query overlaps are benign and CSMA needs no contention
+	// window — two readers sensing an idle medium may fire together.
+	rng := rand.New(rand.NewSource(5))
+	with := SimulateMAC(8, 30*time.Second, 20, true, rng)
+	if with.QueryQueryOverlaps == 0 {
+		t.Log("no simultaneous queries observed (acceptable but unusual at this load)")
+	}
+	if with.QueryResponseOverlaps != 0 {
+		t.Errorf("harmful collisions under CSMA: %d", with.QueryResponseOverlaps)
+	}
+}

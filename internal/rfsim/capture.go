@@ -1,0 +1,174 @@
+package rfsim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"caraoke/internal/geom"
+)
+
+// Transmission is one transponder's reply as it leaves the device: an
+// OOK envelope at the scene sample rate, carried at CFO Hz above the
+// reader's local oscillator, with the oscillator's random starting
+// phase (the reason per-query channels look independent to the decoder,
+// §8) and an amplitude set by the device's transmit power.
+type Transmission struct {
+	Envelope    []float64 // 0/1 OOK chips expanded to samples
+	CFO         float64   // Hz above reader LO
+	Phase       float64   // oscillator phase at capture sample 0, radians
+	Amplitude   float64   // transmit amplitude (sqrt of power), linear
+	Pos         geom.Vec3 // transponder position
+	StartSample int       // sample index where the envelope begins
+}
+
+// CaptureConfig describes the reader's receive front end for one
+// capture window.
+type CaptureConfig struct {
+	SampleRate float64 // complex samples per second (4 MHz prototype)
+	NumSamples int     // capture window length (2048 at 4 MHz/512 µs)
+	Wavelength float64 // carrier wavelength for geometric phase
+	NoiseSigma float64 // per-component AWGN sigma, linear
+	Reflectors []Reflector
+	// ADCBits, if positive, quantizes each antenna stream to this many
+	// bits (the prototype's AD7356 is 12-bit). Zero disables
+	// quantization.
+	ADCBits int
+	// ADCFullScale is the quantizer full-scale amplitude. Zero picks
+	// a scale from the capture's own peak (a crude AGC).
+	ADCFullScale float64
+}
+
+// Validate checks the configuration.
+func (c *CaptureConfig) Validate() error {
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("rfsim: sample rate %g must be positive", c.SampleRate)
+	}
+	if c.NumSamples <= 0 {
+		return fmt.Errorf("rfsim: capture length %d must be positive", c.NumSamples)
+	}
+	if c.Wavelength <= 0 {
+		return fmt.Errorf("rfsim: wavelength %g must be positive", c.Wavelength)
+	}
+	if c.NoiseSigma < 0 {
+		return fmt.Errorf("rfsim: noise sigma %g must be non-negative", c.NoiseSigma)
+	}
+	if c.ADCBits < 0 || c.ADCBits > 24 {
+		return fmt.Errorf("rfsim: ADC bits %d out of range", c.ADCBits)
+	}
+	return nil
+}
+
+// MultiCapture is the result of one receive window: per-antenna complex
+// baseband streams, sampled simultaneously (the prototype's RF chains
+// share one clock, §11, so there is no inter-antenna CFO).
+type MultiCapture struct {
+	SampleRate float64
+	Antennas   [][]complex128
+}
+
+// Capture synthesizes the baseband streams an array digitizes while the
+// given transmissions are on the air. For transmission i and antenna a:
+//
+//	r_a(t) += h_{a,i} · A_i · env_i(t−t0_i) · e^{j(2π·CFO_i·t + φ_i)}
+//
+// with h the geometric channel (free-space plus reflectors). AWGN and
+// optional ADC quantization follow.
+func Capture(cfg CaptureConfig, array Array, txs []Transmission, rng *rand.Rand) (*MultiCapture, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(array.Elements) == 0 {
+		return nil, fmt.Errorf("rfsim: array has no elements")
+	}
+	mc := &MultiCapture{SampleRate: cfg.SampleRate}
+	mc.Antennas = make([][]complex128, len(array.Elements))
+	for a := range mc.Antennas {
+		mc.Antennas[a] = make([]complex128, cfg.NumSamples)
+	}
+	for i := range txs {
+		tx := &txs[i]
+		if tx.StartSample < 0 {
+			return nil, fmt.Errorf("rfsim: transmission %d starts at negative sample %d", i, tx.StartSample)
+		}
+		// Oscillator rotation is common to all antennas.
+		rot := make([]complex128, 0, len(tx.Envelope))
+		step := cmplx.Exp(complex(0, 2*math.Pi*tx.CFO/cfg.SampleRate))
+		w := cmplx.Exp(complex(0, tx.Phase))
+		// Advance to the start sample so CFO phase is continuous in
+		// capture time, not envelope time.
+		w *= cmplx.Exp(complex(0, 2*math.Pi*tx.CFO/cfg.SampleRate*float64(tx.StartSample)))
+		for range tx.Envelope {
+			rot = append(rot, w)
+			w *= step
+		}
+		for a, el := range array.Elements {
+			h := Channel(tx.Pos, el, cfg.Wavelength, cfg.Reflectors) * complex(tx.Amplitude, 0)
+			dst := mc.Antennas[a]
+			for s, e := range tx.Envelope {
+				idx := tx.StartSample + s
+				if idx >= cfg.NumSamples {
+					break
+				}
+				if e == 0 {
+					continue
+				}
+				dst[idx] += h * complex(e, 0) * rot[s]
+			}
+		}
+	}
+	if cfg.NoiseSigma > 0 {
+		for a := range mc.Antennas {
+			addNoise(mc.Antennas[a], cfg.NoiseSigma, rng)
+		}
+	}
+	if cfg.ADCBits > 0 {
+		for a := range mc.Antennas {
+			QuantizeInPlace(mc.Antennas[a], cfg.ADCBits, cfg.ADCFullScale)
+		}
+	}
+	return mc, nil
+}
+
+func addNoise(dst []complex128, sigma float64, rng *rand.Rand) {
+	for i := range dst {
+		dst[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+}
+
+// QuantizeInPlace models an ADC: each I/Q component is rounded to one
+// of 2^bits uniform levels across ±fullScale and clipped beyond. A
+// non-positive fullScale auto-ranges to the stream's peak magnitude
+// (crude AGC).
+func QuantizeInPlace(samples []complex128, bits int, fullScale float64) {
+	if len(samples) == 0 {
+		return
+	}
+	if fullScale <= 0 {
+		for _, s := range samples {
+			if a := math.Abs(real(s)); a > fullScale {
+				fullScale = a
+			}
+			if a := math.Abs(imag(s)); a > fullScale {
+				fullScale = a
+			}
+		}
+		if fullScale == 0 {
+			return
+		}
+	}
+	levels := float64(int64(1) << uint(bits-1)) // half-range level count
+	q := func(v float64) float64 {
+		n := math.Round(v / fullScale * levels)
+		if n > levels-1 {
+			n = levels - 1
+		} else if n < -levels {
+			n = -levels
+		}
+		return n / levels * fullScale
+	}
+	for i, s := range samples {
+		samples[i] = complex(q(real(s)), q(imag(s)))
+	}
+}

@@ -1,0 +1,264 @@
+package rfsim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"caraoke/internal/dsp"
+	"caraoke/internal/geom"
+	"caraoke/internal/phy"
+)
+
+func testConfig() CaptureConfig {
+	return CaptureConfig{
+		SampleRate: 4e6,
+		NumSamples: 2048,
+		Wavelength: geom.Wavelength(915e6),
+		NoiseSigma: 0,
+	}
+}
+
+// testFrame builds a frame with realistic (non-degenerate) payload
+// content. A frame whose factory/reserved fields are all zero Manchester-
+// encodes to a long 0101… chip run — a strong 500 kHz clock line that
+// would add spurious spectral peaks. Real transponders carry dense
+// factory data, which keeps that line at the noise level.
+func testFrame(rng *rand.Rand, agency uint16, serial uint64) *phy.Frame {
+	return &phy.Frame{
+		Programmable: rng.Uint64() & (1<<phy.ProgrammableBits - 1),
+		Agency:       agency,
+		Serial:       serial,
+		Factory:      rng.Uint64(),
+		Reserved:     rng.Uint64() & (1<<phy.ReservedBits - 1),
+	}
+}
+
+// frameTransmission builds a Transmission carrying a real frame.
+func frameTransmission(t *testing.T, f *phy.Frame, cfo, phase, amp float64, pos geom.Vec3) Transmission {
+	t.Helper()
+	env, err := phy.ModulateFrame(f, 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Transmission{
+		Envelope:  env,
+		CFO:       cfo,
+		Phase:     phase,
+		Amplitude: amp,
+		Pos:       pos,
+	}
+}
+
+func TestCaptureSpikeAtCFO(t *testing.T) {
+	cfg := testConfig()
+	arr := NewPairArray(geom.V(0, 0, 4), geom.V(1, 0, 0), cfg.Wavelength/2)
+	rng := rand.New(rand.NewSource(1))
+	f := testFrame(rng, 7, 99)
+	// Bin-centered CFO (bin 205 of 2048 at 4 MHz) so the spike suffers
+	// no scalloping loss and its magnitude can be checked exactly.
+	cfo := 205 * 4e6 / 2048
+	tx := frameTransmission(t, f, cfo, 1.1, 1.0, geom.V(10, 5, 0))
+	mc, err := Capture(cfg, arr, []Transmission{tx}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := dsp.NewSpectrum(mc.Antennas[0], cfg.SampleRate)
+	peaks := dsp.FindPeaks(spec, dsp.DefaultPeakParams())
+	if len(peaks) == 0 {
+		t.Fatal("no peaks found")
+	}
+	top := strongestPeak(peaks)
+	if math.Abs(top.Freq-cfo) > spec.BinWidth() {
+		t.Errorf("strongest peak at %g Hz, want %g", top.Freq, cfo)
+	}
+	// §3: the spike value is h/2 × capture length (Manchester gives the
+	// envelope a 0.5 mean).
+	h := Channel(tx.Pos, arr.Elements[0], cfg.Wavelength, nil) *
+		cmplx.Exp(complex(0, tx.Phase)) * complex(tx.Amplitude, 0)
+	want := cmplx.Abs(h) * 0.5 * float64(cfg.NumSamples)
+	if math.Abs(top.Mag-want) > 0.05*want {
+		t.Errorf("spike magnitude %g, want ≈%g", top.Mag, want)
+	}
+	// The carrier spike must dominate everything else (data humps,
+	// Manchester clock images) by a wide margin.
+	for _, pk := range peaks {
+		if pk.Bin != top.Bin && pk.Mag > 0.5*top.Mag {
+			t.Errorf("secondary peak at %g Hz within 6 dB of the spike", pk.Freq)
+		}
+	}
+}
+
+func strongestPeak(peaks []dsp.Peak) dsp.Peak {
+	top := peaks[0]
+	for _, p := range peaks[1:] {
+		if p.Mag > top.Mag {
+			top = p
+		}
+	}
+	return top
+}
+
+func TestCaptureInterAntennaPhaseRecoversAoA(t *testing.T) {
+	// End-to-end physics: modulated frame, CFO, random phase — the
+	// spike-phase difference across the pair must still give the true
+	// spatial angle (§6).
+	cfg := testConfig()
+	cfg.NoiseSigma = 1e-6
+	lambda := cfg.Wavelength
+	center := geom.V(0, 0, 4)
+	arr := NewPairArray(center, geom.V(1, 0, 0), lambda/2)
+	rng := rand.New(rand.NewSource(7))
+	for _, deg := range []float64{45, 70, 90, 120} {
+		alpha := geom.Radians(deg)
+		pos := center.Add(geom.V(math.Cos(alpha)*25, math.Sin(alpha)*25, 0))
+		f := testFrame(rng, 1, 2)
+		tx := frameTransmission(t, f, 617e3, rng.Float64()*6.28, 1, pos)
+		mc, err := Capture(cfg, arr, []Transmission{tx}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s0 := dsp.NewSpectrum(mc.Antennas[0], cfg.SampleRate)
+		s1 := dsp.NewSpectrum(mc.Antennas[1], cfg.SampleRate)
+		k := s0.FreqBin(617e3)
+		dphi := geom.WrapPhase(cmplx.Phase(s1.Bins[k] / s0.Bins[k]))
+		got, _ := geom.AoAFromPhase(dphi, lambda/2, lambda)
+		if math.Abs(geom.Degrees(got)-deg) > 1.5 {
+			t.Errorf("angle %g°: recovered %.2f°", deg, geom.Degrees(got))
+		}
+	}
+}
+
+func TestCaptureCollisionHasOneSpikePerTransponder(t *testing.T) {
+	cfg := testConfig()
+	cfg.NoiseSigma = 1e-7
+	arr := NewPairArray(geom.V(0, 0, 4), geom.V(1, 0, 0), cfg.Wavelength/2)
+	rng := rand.New(rand.NewSource(8))
+	cfos := []float64{150e3, 430e3, 700e3, 990e3, 1.15e6}
+	var txs []Transmission
+	for i, cfo := range cfos {
+		f := testFrame(rng, uint16(i+1), uint64(1000+i))
+		txs = append(txs, frameTransmission(t, f, cfo, rng.Float64()*6.28, 1,
+			geom.V(5+float64(i)*3, -4+float64(i)*2, 0)))
+	}
+	mc, err := Capture(cfg, arr, txs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := dsp.NewSpectrum(mc.Antennas[0], cfg.SampleRate)
+	peaks := dsp.FindPeaks(spec, dsp.DefaultPeakParams())
+	if len(peaks) < len(cfos) {
+		t.Fatalf("found %d peaks, want at least %d (Fig 4)", len(peaks), len(cfos))
+	}
+	// The five strongest peaks must sit at the five CFOs.
+	sort.Slice(peaks, func(i, j int) bool { return peaks[i].Mag > peaks[j].Mag })
+	top := peaks[:len(cfos)]
+	sort.Slice(top, func(i, j int) bool { return top[i].Freq < top[j].Freq })
+	for i, p := range top {
+		if math.Abs(p.Freq-cfos[i]) > spec.BinWidth() {
+			t.Errorf("peak %d at %g Hz, want %g", i, p.Freq, cfos[i])
+		}
+	}
+}
+
+func TestCaptureStartSampleShiftsEnvelope(t *testing.T) {
+	cfg := testConfig()
+	cfg.NumSamples = 4096
+	arr := NewPairArray(geom.V(0, 0, 4), geom.V(1, 0, 0), cfg.Wavelength/2)
+	rng := rand.New(rand.NewSource(9))
+	f := testFrame(rng, 3, 4)
+	tx := frameTransmission(t, f, 300e3, 0, 1, geom.V(10, 0, 0))
+	tx.StartSample = 1000
+	mc, err := Capture(cfg, arr, []Transmission{tx}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if mc.Antennas[0][i] != 0 {
+			t.Fatalf("sample %d nonzero before transmission start", i)
+		}
+	}
+	var energy float64
+	for _, s := range mc.Antennas[0][1000:] {
+		energy += real(s)*real(s) + imag(s)*imag(s)
+	}
+	if energy == 0 {
+		t.Error("no energy after transmission start")
+	}
+}
+
+func TestCaptureRejectsBadInput(t *testing.T) {
+	arr := NewPairArray(geom.V(0, 0, 4), geom.V(1, 0, 0), 0.16)
+	rng := rand.New(rand.NewSource(10))
+	bad := testConfig()
+	bad.SampleRate = 0
+	if _, err := Capture(bad, arr, nil, rng); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+	cfg := testConfig()
+	if _, err := Capture(cfg, Array{}, nil, rng); err == nil {
+		t.Error("empty array accepted")
+	}
+	tx := Transmission{Envelope: []float64{1}, StartSample: -1, Amplitude: 1, Pos: geom.V(1, 0, 0)}
+	if _, err := Capture(cfg, arr, []Transmission{tx}, rng); err == nil {
+		t.Error("negative start sample accepted")
+	}
+	negNoise := testConfig()
+	negNoise.NoiseSigma = -1
+	if _, err := Capture(negNoise, arr, nil, rng); err == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestQuantizeInPlace(t *testing.T) {
+	samples := []complex128{complex(0.5, -0.25), complex(2.0, 0), complex(-3.0, 0.1)}
+	QuantizeInPlace(samples, 12, 1.0)
+	// Clipping at ±1 full scale.
+	if real(samples[1]) > 1.0 || real(samples[2]) < -1.0 {
+		t.Errorf("clipping failed: %v", samples)
+	}
+	// Quantization error bounded by one LSB.
+	lsb := 1.0 / 2048
+	if math.Abs(real(samples[0])-0.5) > lsb || math.Abs(imag(samples[0])+0.25) > lsb {
+		t.Errorf("quantization error exceeds LSB: %v", samples[0])
+	}
+}
+
+func TestQuantizeAutoRange(t *testing.T) {
+	samples := []complex128{complex(0.002, 0), complex(-0.004, 0.001)}
+	orig := append([]complex128(nil), samples...)
+	QuantizeInPlace(samples, 12, 0)
+	for i := range samples {
+		if cmplx.Abs(samples[i]-orig[i]) > 0.004/1024 {
+			t.Errorf("auto-ranged quantization too coarse at %d: %v vs %v", i, samples[i], orig[i])
+		}
+	}
+	// All-zero stream must not divide by zero.
+	zeros := make([]complex128, 4)
+	QuantizeInPlace(zeros, 12, 0)
+	QuantizeInPlace(nil, 12, 0)
+}
+
+func TestCaptureADCQuantizationPreservesSpike(t *testing.T) {
+	cfg := testConfig()
+	cfg.NoiseSigma = 1e-6
+	cfg.ADCBits = 12
+	arr := NewPairArray(geom.V(0, 0, 4), geom.V(1, 0, 0), cfg.Wavelength/2)
+	rng := rand.New(rand.NewSource(11))
+	f := testFrame(rng, 7, 99)
+	tx := frameTransmission(t, f, 500e3, 0.3, 1, geom.V(12, 3, 0))
+	mc, err := Capture(cfg, arr, []Transmission{tx}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := dsp.NewSpectrum(mc.Antennas[0], cfg.SampleRate)
+	peaks := dsp.FindPeaks(spec, dsp.DefaultPeakParams())
+	if len(peaks) == 0 {
+		t.Fatal("12-bit ADC destroyed the CFO spike: no peaks")
+	}
+	if top := strongestPeak(peaks); math.Abs(top.Freq-500e3) > spec.BinWidth() {
+		t.Fatalf("strongest peak at %g Hz after ADC, want 500 kHz", top.Freq)
+	}
+}

@@ -1,0 +1,250 @@
+// Package telemetry defines the wire protocol between Caraoke readers
+// and the city backend. A reader needs to convey only "the results of
+// processing one query (i.e., the channels and CFOs)" — a few kilobits
+// (§12.5 footnote 15) — so the format is a compact length-prefixed
+// binary frame with a CRC-32, suitable for batching over a duty-cycled
+// LTE modem.
+package telemetry
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+)
+
+// Protocol constants.
+const (
+	Magic   = 0x43415241 // "CARA"
+	Version = 1
+	// MaxFrameSize bounds a frame's payload; a report with dozens of
+	// spikes is well under this.
+	MaxFrameSize = 1 << 16
+	// maxSpikes bounds the per-report spike count (the CFO band fits
+	// at most 615 distinguishable transponders).
+	maxSpikes = 1024
+)
+
+// Errors.
+var (
+	ErrBadMagic   = errors.New("telemetry: bad frame magic")
+	ErrBadVersion = errors.New("telemetry: unsupported protocol version")
+	ErrBadCRC     = errors.New("telemetry: frame CRC mismatch")
+	ErrTooLarge   = errors.New("telemetry: frame exceeds size limit")
+)
+
+// SpikeRecord is one transponder's measurement within a report.
+type SpikeRecord struct {
+	FreqHz   float64      // CFO above the reader LO
+	Multiple bool         // §5 dual-window test found ≥2 in the bin
+	Channels []complex128 // per-antenna channel estimates
+	// DecodedID is the transponder id if the reader ran the §8
+	// collision decoder on this spike; zero otherwise.
+	DecodedID uint64
+}
+
+// Report is one query's processed output from one reader.
+type Report struct {
+	ReaderID  uint32
+	Seq       uint32
+	Timestamp time.Time // reader-local (NTP-disciplined) time
+	Count     int       // §5 estimate for this query
+	Spikes    []SpikeRecord
+}
+
+// appendU64/readU64 are little-endian helpers.
+func appendU64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+
+// Marshal serializes the report payload (without framing).
+func (r *Report) Marshal() ([]byte, error) {
+	if len(r.Spikes) > maxSpikes {
+		return nil, fmt.Errorf("telemetry: %d spikes exceeds limit %d", len(r.Spikes), maxSpikes)
+	}
+	b := make([]byte, 0, 64+len(r.Spikes)*64)
+	b = appendU32(b, r.ReaderID)
+	b = appendU32(b, r.Seq)
+	b = appendU64(b, uint64(r.Timestamp.UnixNano()))
+	b = appendU32(b, uint32(r.Count))
+	b = appendU32(b, uint32(len(r.Spikes)))
+	for i := range r.Spikes {
+		s := &r.Spikes[i]
+		b = appendF64(b, s.FreqHz)
+		if s.Multiple {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendU64(b, s.DecodedID)
+		if len(s.Channels) > 255 {
+			return nil, fmt.Errorf("telemetry: %d channels exceeds limit", len(s.Channels))
+		}
+		b = append(b, byte(len(s.Channels)))
+		for _, h := range s.Channels {
+			b = appendF64(b, real(h))
+			b = appendF64(b, imag(h))
+		}
+	}
+	return b, nil
+}
+
+// UnmarshalReport parses a report payload.
+func UnmarshalReport(b []byte) (*Report, error) {
+	rd := byteReader{buf: b}
+	r := &Report{}
+	r.ReaderID = rd.u32()
+	r.Seq = rd.u32()
+	r.Timestamp = time.Unix(0, int64(rd.u64()))
+	r.Count = int(int32(rd.u32()))
+	n := rd.u32()
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if n > maxSpikes {
+		return nil, fmt.Errorf("telemetry: spike count %d exceeds limit", n)
+	}
+	r.Spikes = make([]SpikeRecord, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var s SpikeRecord
+		s.FreqHz = rd.f64()
+		s.Multiple = rd.u8() != 0
+		s.DecodedID = rd.u64()
+		nc := int(rd.u8())
+		if rd.err != nil {
+			return nil, rd.err
+		}
+		s.Channels = make([]complex128, 0, nc)
+		for c := 0; c < nc; c++ {
+			re := rd.f64()
+			im := rd.f64()
+			s.Channels = append(s.Channels, complex(re, im))
+		}
+		if rd.err != nil {
+			return nil, rd.err
+		}
+		r.Spikes = append(r.Spikes, s)
+	}
+	if len(rd.buf) != rd.off {
+		return nil, fmt.Errorf("telemetry: %d trailing bytes in report", len(rd.buf)-rd.off)
+	}
+	return r, nil
+}
+
+type byteReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *byteReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *byteReader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *byteReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *byteReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *byteReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// WriteFrame writes one framed report: magic, version, payload length,
+// payload, CRC-32 (Castagnoli) of the payload.
+func WriteFrame(w io.Writer, r *Report) error {
+	payload, err := r.Marshal()
+	if err != nil {
+		return err
+	}
+	if len(payload) > MaxFrameSize {
+		return ErrTooLarge
+	}
+	head := make([]byte, 0, 13)
+	head = appendU32(head, Magic)
+	head = append(head, Version)
+	head = appendU32(head, uint32(len(payload)))
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, castagnoli))
+	_, err = w.Write(crc[:])
+	return err
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ReadFrame reads one framed report.
+func ReadFrame(rd io.Reader) (*Report, error) {
+	head := make([]byte, 9)
+	if _, err := io.ReadFull(rd, head); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(head[:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if head[4] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, head[4])
+	}
+	n := binary.LittleEndian.Uint32(head[5:9])
+	if n > MaxFrameSize {
+		return nil, ErrTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(rd, payload); err != nil {
+		return nil, err
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(rd, crcBuf[:]); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(crcBuf[:]) {
+		return nil, ErrBadCRC
+	}
+	return UnmarshalReport(payload)
+}

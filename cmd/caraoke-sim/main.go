@@ -1,98 +1,118 @@
-// caraoke-sim runs the full pipeline in one process: an in-memory
-// collector, two readers at an intersection, and the traffic
-// simulation, all wired over real TCP — a self-contained demo of the
-// deployment in the paper's Fig 3.
+// caraoke-sim is the city-scale simulation harness: a seeded grid of
+// intersections, N concurrent pole-mounted readers, vehicles circling
+// the street grid, and the collector backend ingesting every reader's
+// telemetry over real TCP — the whole deployment of the paper's §1/§4
+// in one process. Two runs with the same flags produce identical
+// per-intersection counts; see internal/city for the determinism
+// contract.
+//
+// Example:
+//
+//	go run ./cmd/caraoke-sim -readers 8 -vehicles 200 -seed 1
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
+	"runtime"
 	"time"
 
-	"caraoke"
+	"caraoke/internal/city"
 	"caraoke/internal/collector"
-	"caraoke/internal/traffic"
 )
 
 func main() {
-	cycles := flag.Int("cycles", 2, "traffic-light cycles to simulate")
-	seed := flag.Int64("seed", 11, "RNG seed")
+	readers := flag.Int("readers", 4, "pole-mounted readers (two per intersection)")
+	vehicles := flag.Int("vehicles", 80, "cars circulating on the street grid")
+	parked := flag.Int("parked", 0, "stationary curbside cars near intersection 0")
+	duration := flag.Duration("duration", 30*time.Second, "simulated time")
+	seed := flag.Int64("seed", 1, "RNG seed; same seed ⇒ identical run")
+	queries := flag.Int("queries", 10, "queries per reader active window (§10)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "DSP worker goroutines per reader (1 = serial)")
+	decodeEvery := flag.Int("decode-every", 5, "run the §8 id decoder every k-th epoch (negative disables)")
+	decodeBudget := flag.Int("decode-budget", 120, "max collisions combined per decode run")
+	equipped := flag.Float64("equipped", 1, "fraction of cars carrying a transponder")
+	speedLimit := flag.Float64("speed-limit", 13, "speed-service limit, m/s")
 	flag.Parse()
 
-	rng := rand.New(rand.NewSource(*seed))
-	store := collector.NewStore(8192)
-	srv := collector.NewServer(store)
-	addr, err := srv.Start("127.0.0.1:0")
+	cfg := city.Config{
+		Readers:        *readers,
+		Vehicles:       *vehicles,
+		Parked:         *parked,
+		Duration:       *duration,
+		Seed:           *seed,
+		Queries:        *queries,
+		Workers:        *workers,
+		DecodeEvery:    *decodeEvery,
+		DecodeBudget:   *decodeBudget,
+		UnequippedFrac: 1 - *equipped,
+	}
+	start := time.Now()
+	res, err := city.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Stop()
-	log.Printf("collector on %s", addr)
+	wall := time.Since(start)
 
-	newReader := func(id uint32, base caraoke.Vec3, dir caraoke.Vec3) *caraoke.Reader {
-		r, err := caraoke.NewReader(caraoke.ReaderConfig{
-			ID: id, PoleBase: base, PoleHeight: 3.8, RoadDir: dir,
-			TiltDeg: 60, NoiseSigma: 2e-6})
+	fmt.Printf("city: %d readers on %d intersections, %d vehicles (+%d parked), %d epochs (%s simulated) in %.1fs wall\n",
+		*readers, len(res.PerIntersection), *vehicles, *parked, res.Epochs, *duration, wall.Seconds())
+	for _, ix := range res.PerIntersection {
+		fmt.Printf("intersection %d at (%.0f,%.0f): readers %v, %d reports, car-seconds %d, peak %d\n",
+			ix.Index, ix.X, ix.Y, ix.Readers, ix.Reports, ix.CarSeconds, ix.Peak)
+	}
+
+	fmt.Printf("decoded %d transponder ids\n", len(res.Decoded))
+	if len(res.Decoded) > 0 {
+		d := res.Decoded[0]
+		if sgt, ok := res.Store.FindCar(d.ID); ok {
+			fmt.Printf("find-my-car: id %#x last seen by reader %d at %s (CFO %.1f kHz)\n",
+				d.ID, sgt.ReaderID, sgt.Seen.Format("15:04:05"), sgt.FreqHz/1e3)
+		}
+	}
+
+	// Speed service over reader pairs: any decoded car sighted at two
+	// poles yields a transit-time speed estimate (§7).
+	svc := collector.NewSpeedService(res.Store, *speedLimit)
+	for id, pos := range res.Poles {
+		svc.RegisterReader(id, pos)
+	}
+	span := res.End.Sub(res.Start)
+	for _, d := range res.Decoded {
+		v, over, err := svc.Check(d.FreqHz, 3e3, span, res.End)
 		if err != nil {
-			log.Fatal(err)
+			continue // sighted at fewer than two readers
 		}
-		return r
+		tag := ""
+		if over {
+			tag = "  SPEEDING"
+		}
+		fmt.Printf("speed: id %#x (CFO %.1f kHz) readers %d→%d: %.1f m/s%s\n",
+			d.ID, d.FreqHz/1e3, v.From, v.To, v.SpeedMPS, tag)
 	}
-	rA := newReader(1, caraoke.V(-5, 2, 0), caraoke.V(1, 0, 0)) // street A pole
-	rC := newReader(2, caraoke.V(2, -5, 0), caraoke.V(0, 1, 0)) // street C pole
-	upA, err := collector.Dial(addr.String(), time.Second)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer upA.Close()
-	upC, err := collector.Dial(addr.String(), time.Second)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer upC.Close()
 
-	cfg := traffic.DefaultIntersectionConfig()
-	ix, err := traffic.NewIntersection(cfg, rng)
-	if err != nil {
-		log.Fatal(err)
-	}
-	base := time.Date(2015, 8, 17, 8, 0, 0, 0, time.UTC)
-	span := time.Duration(*cycles+1) * cfg.Timing.Cycle()
-	next := cfg.Timing.Cycle()
-	for ix.Now() < span {
-		ix.Step(100 * time.Millisecond)
-		if ix.Now() < next {
-			continue
+	// Parking service: decoded curbside occupants open billable
+	// sessions spanning the run.
+	if len(res.ParkedSpots) > 0 {
+		park := collector.NewParkingService()
+		for spot := 0; spot < *parked; spot++ {
+			id, ok := res.ParkedSpots[spot]
+			if !ok {
+				continue
+			}
+			if err := park.Arrive(spot, id, res.Start); err != nil {
+				log.Fatal(err)
+			}
 		}
-		next += time.Second
-		for street, pair := range []struct {
-			rd *caraoke.Reader
-			up *collector.Client
-		}{{rA, upA}, {rC, upC}} {
-			devs := ix.DevicesNear(street, 30)
-			res, err := pair.rd.Measure(devs, 10, rng)
+		for spot := 0; spot < *parked; spot++ {
+			if _, ok := park.Occupied(spot); !ok {
+				continue
+			}
+			id, dur, err := park.Depart(spot, res.End)
 			if err != nil {
 				log.Fatal(err)
 			}
-			if err := pair.up.Send(pair.rd.Report(res, base.Add(ix.Now()))); err != nil {
-				log.Fatal(err)
-			}
+			fmt.Printf("parking: spot %d held by %#x, billed %s\n", spot, id, dur)
 		}
-	}
-	time.Sleep(100 * time.Millisecond)
-
-	for _, id := range store.Readers() {
-		ts, counts := store.CountSeries(id, base, base.Add(span))
-		total, peak := 0, 0
-		for _, c := range counts {
-			total += c
-			if c > peak {
-				peak = c
-			}
-		}
-		fmt.Printf("reader %d: %d reports, total car-seconds %d, peak queue %d\n",
-			id, len(ts), total, peak)
 	}
 }

@@ -1,0 +1,3 @@
+module caraoke
+
+go 1.24

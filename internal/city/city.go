@@ -1,0 +1,542 @@
+// Package city is the city-scale simulation harness the paper's §1 and
+// §4 motivate: not one reader at one intersection, but a seeded grid of
+// intersections whose pole-mounted readers run concurrently, each
+// synthesizing its own collision captures from the vehicles inside its
+// interrogation zone and streaming telemetry reports over real TCP
+// into the collector backend. It is the scaffold the production-scale
+// load work drives: every epoch fans N reader measurement pipelines
+// (capture synthesis → FFT → spike extraction → §5 count → optional §8
+// collision decode) out across goroutines while the collector ingests
+// their uplinks.
+//
+// The harness is deterministic: all randomness flows from Config.Seed
+// through per-subsystem RNG streams (one for city construction, one per
+// reader), concurrent readers touch disjoint state, and every
+// cross-goroutine merge happens in a fixed order — two runs with the
+// same configuration produce identical per-intersection counts and
+// identical decoded-id sets, which is what makes the harness usable as
+// a regression scenario and not just a demo.
+package city
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"caraoke/internal/collector"
+	"caraoke/internal/geom"
+	"caraoke/internal/reader"
+	"caraoke/internal/transponder"
+)
+
+// margin is how far (meters) each street extends beyond its outermost
+// intersection before wrapping; vehicles leaving one end re-enter the
+// other, keeping the fleet size constant for the whole run.
+const margin = 60
+
+// baseTime anchors simulated timestamps (the morning of the paper's
+// Fig 12 traffic trace). A fixed epoch keeps reports, and therefore
+// collector state, identical across runs.
+var baseTime = time.Date(2015, 8, 17, 8, 0, 0, 0, time.UTC)
+
+// Config sizes the city and its workload. Zero fields take the
+// documented defaults, so callers only set what they care about.
+type Config struct {
+	// Readers is the number of pole-mounted readers. Intersections get
+	// two each (one per crossing street); an odd count leaves the last
+	// intersection with a single reader.
+	Readers int
+	// Vehicles is the number of cars circulating on the street grid.
+	Vehicles int
+	// Parked adds stationary curbside cars near intersection 0 — the
+	// street-parking workload (occupancy + find-my-car).
+	Parked int
+	// Duration is simulated time (default 30s).
+	Duration time.Duration
+	// Step is the vehicle-kinematics tick (default 100ms).
+	Step time.Duration
+	// Epoch is the measurement cadence: every epoch each reader runs
+	// one §10 active window (default 1s).
+	Epoch time.Duration
+	// Queries per active window (§10 allows up to 10; default 10).
+	Queries int
+	// Workers is each reader's DSP worker-pool size (default 1 =
+	// serial; results are identical for any value).
+	Workers int
+	// Seed drives every random choice in the run; any value,
+	// including zero, is a valid (and reproducible) seed.
+	Seed int64
+	// Block is the street-grid spacing in meters (default 200).
+	Block float64
+	// Range is the interrogation radius in meters a reader claims
+	// transponders within (default 30, the paper's ~100 ft).
+	Range float64
+	// NoiseSigma is the per-sample receiver noise (default 2e-6).
+	NoiseSigma float64
+	// UnequippedFrac is the fraction of vehicles NOT carrying a
+	// transponder. The zero value means every car is equipped; US
+	// deployments run 0.11–0.30 unequipped (§1). (Phrased negatively
+	// so the meaningful "all equipped" case is the Go zero value and
+	// no default remapping is needed.)
+	UnequippedFrac float64
+	// DecodeEvery runs the §8 collision decoder every k-th epoch
+	// (default 5; negative disables decoding).
+	DecodeEvery int
+	// DecodeBudget caps the collisions combined per decode run
+	// (default 120).
+	DecodeBudget int
+	// Keep is the collector's per-reader report retention (default
+	// 8192).
+	Keep int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Duration == 0 {
+		c.Duration = 30 * time.Second
+	}
+	if c.Step == 0 {
+		c.Step = 100 * time.Millisecond
+	}
+	if c.Epoch == 0 {
+		c.Epoch = time.Second
+	}
+	if c.Queries == 0 {
+		c.Queries = 10
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Block == 0 {
+		c.Block = 200
+	}
+	if c.Range == 0 {
+		c.Range = 30
+	}
+	if c.NoiseSigma == 0 {
+		c.NoiseSigma = 2e-6
+	}
+	if c.DecodeEvery == 0 {
+		c.DecodeEvery = 5
+	}
+	if c.DecodeBudget == 0 {
+		c.DecodeBudget = 120
+	}
+	if c.Keep == 0 {
+		c.Keep = 8192
+	}
+	return c
+}
+
+func (c *Config) validate() error {
+	if c.Readers < 1 {
+		return fmt.Errorf("city: need at least one reader, got %d", c.Readers)
+	}
+	if c.Vehicles < 0 || c.Parked < 0 {
+		return fmt.Errorf("city: negative fleet (%d vehicles, %d parked)", c.Vehicles, c.Parked)
+	}
+	if c.Step <= 0 || c.Epoch < c.Step || c.Duration < c.Epoch {
+		return fmt.Errorf("city: need step ≤ epoch ≤ duration, got %v / %v / %v", c.Step, c.Epoch, c.Duration)
+	}
+	if c.Queries < 1 {
+		return fmt.Errorf("city: queries %d must be positive", c.Queries)
+	}
+	if c.UnequippedFrac < 0 || c.UnequippedFrac > 1 {
+		return fmt.Errorf("city: unequipped fraction %g outside [0,1]", c.UnequippedFrac)
+	}
+	if c.Block <= 0 || c.Range <= 0 {
+		return fmt.Errorf("city: block %g and range %g must be positive", c.Block, c.Range)
+	}
+	return nil
+}
+
+// street is one road of the grid. Vehicles wrap at length; world
+// coordinate along the street is s − margin.
+type street struct {
+	horizontal bool
+	fixed      float64 // y (horizontal) or x (vertical)
+	length     float64
+}
+
+// vehicle is one circulating car.
+type vehicle struct {
+	dev    *transponder.Device // nil when unequipped
+	street int
+	s      float64 // position along the street, wraps at length
+	speed  float64 // m/s, constant per vehicle
+}
+
+// post is one deployed reader with its private RNG stream (what keeps
+// the concurrent measurement fan-out deterministic) and decode log.
+type post struct {
+	rd           *reader.Reader
+	rng          *rand.Rand
+	intersection int
+	decoded      map[uint64]float64 // transponder id → CFO when decoded
+}
+
+// Sim is a constructed city ready to run.
+type Sim struct {
+	cfg      Config
+	streets  []street
+	vehicles []*vehicle
+	parked   []*transponder.Device
+	posts    []*post
+	poles    map[uint32]geom.Vec2
+	gw, gh   int // street-grid columns and rows
+	k        int // intersections with readers
+}
+
+// NewSim lays out the city: ceil(Readers/2) intersections on a near-
+// square grid of streets, readers on poles beside their streets,
+// vehicles scattered over the grid, and parked cars curbside at
+// intersection 0.
+func NewSim(cfg Config) (*Sim, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	k := (cfg.Readers + 1) / 2
+	gw := int(math.Ceil(math.Sqrt(float64(k))))
+	gh := (k + gw - 1) / gw
+	s := &Sim{cfg: cfg, gw: gw, gh: gh, k: k, poles: make(map[uint32]geom.Vec2)}
+
+	hLen := float64(gw-1)*cfg.Block + 2*margin
+	vLen := float64(gh-1)*cfg.Block + 2*margin
+	for row := 0; row < gh; row++ {
+		s.streets = append(s.streets, street{horizontal: true, fixed: float64(row) * cfg.Block, length: hLen})
+	}
+	for col := 0; col < gw; col++ {
+		s.streets = append(s.streets, street{horizontal: false, fixed: float64(col) * cfg.Block, length: vLen})
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pop := transponder.DefaultPopulationParams()
+	serial := uint64(1)
+	nextSerial := func() uint64 {
+		// Dense upper bits, sequential low 16 — the same shape as the
+		// deployed-tag serials internal/transponder documents.
+		sn := rng.Uint64()&^uint64(0xFFFF) | serial&0xFFFF
+		serial++
+		return sn
+	}
+	for v := 0; v < cfg.Vehicles; v++ {
+		veh := &vehicle{
+			street: rng.Intn(len(s.streets)),
+			speed:  8 + 6*rng.Float64(), // 8–14 m/s urban free flow
+		}
+		veh.s = rng.Float64() * s.streets[veh.street].length
+		if rng.Float64() >= cfg.UnequippedFrac {
+			veh.dev = transponder.NewRandomDevice(pop, nextSerial(), geom.Vec3{}, rng)
+		}
+		s.vehicles = append(s.vehicles, veh)
+	}
+	for i := 0; i < cfg.Parked; i++ {
+		// Curbside rows of five, 6 m pitch, just inside reader 1's zone.
+		pos := geom.V(-22+6*float64(i%5), 8+3.5*float64(i/5), 0)
+		s.parked = append(s.parked, transponder.NewRandomDevice(pop, nextSerial(), pos, rng))
+	}
+
+	for j := 0; j < cfg.Readers; j++ {
+		ix := j / 2
+		col, row := ix%gw, ix/gw
+		cx, cy := float64(col)*cfg.Block, float64(row)*cfg.Block
+		rc := reader.Config{
+			ID:         uint32(j + 1),
+			PoleHeight: 3.8,
+			TiltDeg:    60,
+			NoiseSigma: cfg.NoiseSigma,
+			Workers:    cfg.Workers,
+		}
+		if j%2 == 0 { // watches the horizontal street through (cx, cy)
+			rc.PoleBase = geom.V(cx-5, cy+2, 0)
+			rc.RoadDir = geom.V(1, 0, 0)
+		} else { // watches the vertical street
+			rc.PoleBase = geom.V(cx+2, cy-5, 0)
+			rc.RoadDir = geom.V(0, 1, 0)
+		}
+		rd, err := reader.New(rc)
+		if err != nil {
+			return nil, fmt.Errorf("city: reader %d: %w", j+1, err)
+		}
+		s.posts = append(s.posts, &post{
+			rd:           rd,
+			rng:          rand.New(rand.NewSource(cfg.Seed ^ int64(j+1)*0x9E3779B9)),
+			intersection: ix,
+			decoded:      make(map[uint64]float64),
+		})
+		c := rd.Center()
+		s.poles[rc.ID] = geom.P(c.X, c.Y)
+	}
+	return s, nil
+}
+
+// step advances vehicle kinematics by dt.
+func (s *Sim) step(dt time.Duration) {
+	sec := dt.Seconds()
+	for _, v := range s.vehicles {
+		v.s += v.speed * sec
+		if l := s.streets[v.street].length; v.s >= l {
+			v.s -= l
+		}
+	}
+}
+
+// vehiclePos maps a vehicle's 1-D street position to the road plane
+// (right-hand lane, 2 m from the centerline).
+func (s *Sim) vehiclePos(v *vehicle) geom.Vec3 {
+	st := s.streets[v.street]
+	w := v.s - margin
+	if st.horizontal {
+		return geom.V(w, st.fixed-2, 0)
+	}
+	return geom.V(st.fixed+2, w, 0)
+}
+
+// claim refreshes transponder positions and assigns each equipped
+// device to at most one reader for the coming epoch — the §9 reader
+// CSMA guarantee that overlapping readers never query the same scene
+// simultaneously. Claiming in reader-id order keeps the partition
+// deterministic; disjoint claims are also what make the concurrent
+// measurement goroutines race-free (a device's position, envelope
+// cache, and battery budget are only touched by its claiming reader).
+func (s *Sim) claim() [][]*transponder.Device {
+	claims := make([][]*transponder.Device, len(s.posts))
+	taken := make(map[*transponder.Device]bool)
+	for _, v := range s.vehicles {
+		if v.dev != nil {
+			v.dev.Pos = s.vehiclePos(v)
+		}
+	}
+	for i, p := range s.posts {
+		center := p.rd.Center()
+		for _, v := range s.vehicles {
+			if v.dev == nil || taken[v.dev] {
+				continue
+			}
+			if v.dev.Pos.Dist(center) <= s.cfg.Range {
+				claims[i] = append(claims[i], v.dev)
+				taken[v.dev] = true
+			}
+		}
+		for _, d := range s.parked {
+			if !taken[d] && d.Pos.Dist(center) <= s.cfg.Range {
+				claims[i] = append(claims[i], d)
+				taken[d] = true
+			}
+		}
+	}
+	return claims
+}
+
+// IntersectionStats summarizes one intersection's traffic over a run.
+type IntersectionStats struct {
+	Index      int
+	X, Y       float64  // intersection center on the road plane
+	Readers    []uint32 // reader ids deployed there
+	Reports    int      // telemetry reports its readers delivered
+	CarSeconds int      // per-epoch §5 counts summed over the run
+	Peak       int      // largest single-epoch count
+}
+
+// DecodedCar is one transponder whose id some reader recovered via §8.
+type DecodedCar struct {
+	ID     uint64
+	FreqHz float64 // CFO the decode was run at
+}
+
+// Result is a finished run: per-intersection traffic, the decoded-car
+// set, and the live collector state for service queries (find-my-car,
+// speed pairs, parking) on top.
+type Result struct {
+	Epochs          int
+	TotalReports    int
+	PerIntersection []IntersectionStats
+	Decoded         []DecodedCar // sorted by id, deduplicated
+	// ParkedSpots maps parking-spot index → occupant id, for spots
+	// whose occupant the readers managed to decode.
+	ParkedSpots map[int]uint64
+	// Store is the collector backend after ingest; Poles maps reader
+	// ids to road-plane positions (what a SpeedService needs).
+	Store      *collector.Store
+	Poles      map[uint32]geom.Vec2
+	Start, End time.Time
+}
+
+// Run executes the simulation: an in-process collector server, one TCP
+// uplink per reader, and per epoch a concurrent measurement fan-out
+// across all readers. It blocks until every report has landed in the
+// store.
+func (s *Sim) Run() (*Result, error) {
+	store := collector.NewStore(s.cfg.Keep)
+	srv := collector.NewServer(store)
+	srv.Logf = func(string, ...any) {} // keep harness output clean
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("city: %w", err)
+	}
+	defer srv.Stop()
+
+	clients := make([]*collector.Client, len(s.posts))
+	for i := range s.posts {
+		c, err := collector.Dial(addr.String(), 5*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("city: uplink %d: %w", i, err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	epochs := int(s.cfg.Duration / s.cfg.Epoch)
+	steps := int(s.cfg.Epoch / s.cfg.Step)
+	now := time.Duration(0)
+	expected := 0
+	for e := 0; e < epochs; e++ {
+		for t := 0; t < steps; t++ {
+			s.step(s.cfg.Step)
+		}
+		now += s.cfg.Epoch
+		claims := s.claim()
+		stamp := baseTime.Add(now)
+		decode := s.cfg.DecodeEvery > 0 && e%s.cfg.DecodeEvery == 0
+		errs := make([]error, len(s.posts))
+		var wg sync.WaitGroup
+		for i := range s.posts {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = s.measure(s.posts[i], clients[i], claims[i], stamp, decode)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		expected += len(s.posts)
+	}
+	if err := waitForReports(store, expected, 10*time.Second); err != nil {
+		return nil, err
+	}
+	return s.summarize(store, expected, epochs), nil
+}
+
+// measure runs one reader's epoch: a §10 active window (Queries
+// back-to-back queries, multi-query analysis, §5 count), optionally a
+// §8 decode pass over the single-occupancy spikes, then the telemetry
+// uplink. It runs on its own goroutine; everything it touches — its
+// reader, RNG, claimed devices, and TCP client — is private to it for
+// the duration of the epoch.
+func (s *Sim) measure(p *post, up *collector.Client, devs []*transponder.Device, stamp time.Time, decode bool) error {
+	res, err := p.rd.Measure(devs, s.cfg.Queries, p.rng)
+	if err != nil {
+		return fmt.Errorf("city: reader %d: %w", p.rd.ID, err)
+	}
+	rep := p.rd.Report(res, stamp)
+	if decode && len(devs) > 0 {
+		var freqs []float64
+		for _, sp := range res.Spikes {
+			if !sp.Multiple { // same-bin pairs don't combine coherently
+				freqs = append(freqs, sp.Freq)
+			}
+		}
+		out, err := p.rd.DecodeIDs(devs, freqs, s.cfg.DecodeBudget, p.rng)
+		if err != nil {
+			return fmt.Errorf("city: reader %d decode: %w", p.rd.ID, err)
+		}
+		for i := range rep.Spikes {
+			if dr, ok := out[rep.Spikes[i].FreqHz]; ok {
+				rep.Spikes[i].DecodedID = dr.Frame.ID()
+				p.decoded[dr.Frame.ID()] = rep.Spikes[i].FreqHz
+			}
+		}
+	}
+	if err := up.Send(rep); err != nil {
+		return fmt.Errorf("city: reader %d uplink: %w", p.rd.ID, err)
+	}
+	return nil
+}
+
+// waitForReports blocks until the store has ingested want reports —
+// the uplinks are real TCP, so sends complete before the server has
+// necessarily read them. The barrier tracks Ingested, not retained
+// history: a run longer than the store's keep window trims old
+// reports, but every report still has to land.
+func waitForReports(store *collector.Store, want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for store.Ingested() < want {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("city: collector ingested %d of %d reports before timeout",
+				store.Ingested(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}
+
+// summarize folds the collector state into per-intersection statistics
+// and merges the per-reader decode logs in a fixed order.
+func (s *Sim) summarize(store *collector.Store, total, epochs int) *Result {
+	res := &Result{
+		Epochs:       epochs,
+		TotalReports: total,
+		ParkedSpots:  make(map[int]uint64),
+		Store:        store,
+		Poles:        s.poles,
+		Start:        baseTime,
+		End:          baseTime.Add(time.Duration(epochs) * s.cfg.Epoch),
+	}
+	stats := make([]IntersectionStats, s.k)
+	for ix := range stats {
+		col, row := ix%s.gw, ix/s.gw
+		stats[ix] = IntersectionStats{Index: ix, X: float64(col) * s.cfg.Block, Y: float64(row) * s.cfg.Block}
+	}
+	for _, p := range s.posts {
+		st := &stats[p.intersection]
+		st.Readers = append(st.Readers, p.rd.ID)
+		_, counts := store.CountSeries(p.rd.ID, res.Start, res.End)
+		st.Reports += len(counts)
+		for _, c := range counts {
+			st.CarSeconds += c
+			if c > st.Peak {
+				st.Peak = c
+			}
+		}
+	}
+	res.PerIntersection = stats
+
+	seen := make(map[uint64]bool)
+	for _, p := range s.posts { // posts are in reader-id order
+		ids := make([]uint64, 0, len(p.decoded))
+		for id := range p.decoded {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			if !seen[id] {
+				seen[id] = true
+				res.Decoded = append(res.Decoded, DecodedCar{ID: id, FreqHz: p.decoded[id]})
+			}
+		}
+	}
+	sort.Slice(res.Decoded, func(a, b int) bool { return res.Decoded[a].ID < res.Decoded[b].ID })
+	for spot, d := range s.parked {
+		if seen[d.ID()] {
+			res.ParkedSpots[spot] = d.ID()
+		}
+	}
+	return res
+}
+
+// Run builds and executes a city in one call.
+func Run(cfg Config) (*Result, error) {
+	s, err := NewSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

@@ -21,9 +21,10 @@ import (
 
 // Store keeps the most recent reports per reader.
 type Store struct {
-	mu      sync.RWMutex
-	history map[uint32][]*telemetry.Report
-	keep    int
+	mu       sync.RWMutex
+	history  map[uint32][]*telemetry.Report
+	keep     int
+	ingested int
 }
 
 // NewStore creates a store retaining up to keep reports per reader.
@@ -38,11 +39,40 @@ func NewStore(keep int) *Store {
 func (s *Store) Add(r *telemetry.Report) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.ingested++
 	h := append(s.history[r.ReaderID], r)
 	if len(h) > s.keep {
-		h = h[len(h)-s.keep:]
+		// Trim by copying the tail to the front of the backing array.
+		// A plain re-slice (h = h[len(h)-keep:]) walks the retained
+		// window down the array instead, pinning every dropped report
+		// until the slice next reallocates — at a busy reader that is
+		// up to keep dead reports (spikes and all) held live at a time.
+		n := copy(h, h[len(h)-s.keep:])
+		clear(h[n:]) // drop stale pointers beyond the window
+		h = h[:n]
 	}
 	s.history[r.ReaderID] = h
+}
+
+// TotalReports returns the number of retained reports across all
+// readers (retention trims per-reader history to the keep window).
+func (s *Store) TotalReports() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, h := range s.history {
+		n += len(h)
+	}
+	return n
+}
+
+// Ingested returns the number of reports ever added, independent of
+// retention — the barrier harnesses use to confirm every uplinked
+// report has landed before reading results out.
+func (s *Store) Ingested() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ingested
 }
 
 // Latest returns the most recent report from a reader, or nil.

@@ -61,7 +61,15 @@ func (s *SpeedService) Check(freq, tol float64, maxAge time.Duration, now time.T
 	if len(hits) < 2 {
 		return Violation{}, false, fmt.Errorf("collector: %d usable sightings for CFO %.1f kHz, need 2", len(hits), freq/1e3)
 	}
-	sort.Slice(hits, func(i, j int) bool { return hits[i].sgt.Seen.Before(hits[j].sgt.Seen) })
+	// Total order: ties on the timestamp (two readers reporting the
+	// same epoch) break on reader id, so results do not depend on map
+	// iteration order.
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].sgt.Seen.Equal(hits[j].sgt.Seen) {
+			return hits[i].id < hits[j].id
+		}
+		return hits[i].sgt.Seen.Before(hits[j].sgt.Seen)
+	})
 	a, b := hits[0], hits[len(hits)-1]
 	est, err := core.EstimateSpeed(
 		core.Observation{Pos: a.pos, Time: a.sgt.Seen, Freq: a.sgt.FreqHz},

@@ -1,0 +1,144 @@
+package collector
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"caraoke/internal/telemetry"
+)
+
+// TestStoreAddTrimsWithCopy is the regression test for the history
+// retention fix: trimming must copy the retained tail down the backing
+// array, not re-slice. A re-slice leaves every dropped report reachable
+// through the array head until the slice happens to reallocate, which
+// with a steady-state window never happens again.
+func TestStoreAddTrimsWithCopy(t *testing.T) {
+	const keep = 4
+	s := NewStore(keep)
+	freed := make(chan struct{})
+	for i := 0; i < keep+2; i++ {
+		r := &telemetry.Report{ReaderID: 7, Seq: uint32(i), Timestamp: at(i)}
+		if i == 0 {
+			runtime.SetFinalizer(r, func(*telemetry.Report) { close(freed) })
+		}
+		s.Add(r)
+	}
+	s.mu.RLock()
+	h := s.history[7]
+	s.mu.RUnlock()
+	if len(h) != keep {
+		t.Fatalf("retained %d reports, keep is %d", len(h), keep)
+	}
+	if h[0].Seq != 2 || h[keep-1].Seq != keep+1 {
+		t.Fatalf("window holds seqs %d..%d, want 2..%d", h[0].Seq, h[keep-1].Seq, keep+1)
+	}
+	if c := cap(h); c > 2*keep {
+		t.Errorf("backing array grew to cap %d for keep %d", c, keep)
+	}
+	// The two dropped reports must now be collectable: nothing may pin
+	// them through the backing array.
+	deadline := time.After(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-freed:
+			return
+		case <-deadline:
+			t.Fatal("dropped report still reachable after trim — backing array pins history")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// TestStoreConcurrent hammers every Store entry point from parallel
+// goroutines; run under -race it is the regression test for the
+// store's locking discipline.
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore(64)
+	const (
+		writers   = 4
+		perWriter = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Add(&telemetry.Report{
+					ReaderID:  uint32(w % 3),
+					Seq:       uint32(i),
+					Timestamp: at(i % 60),
+					Count:     i,
+					Spikes: []telemetry.SpikeRecord{
+						{FreqHz: float64(1000 * w), DecodedID: uint64(w + 1)},
+					},
+				})
+			}
+		}(w)
+	}
+	for q := 0; q < writers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Latest(uint32(q % 3))
+				s.Readers()
+				s.CountSeries(uint32(q%3), at(0), at(59))
+				s.FindCar(uint64(q + 1))
+				s.SightingsByCFO(float64(1000*q), 10)
+				s.TotalReports()
+			}
+		}(q)
+	}
+	wg.Wait()
+	if got := s.TotalReports(); got != 3*64 {
+		// 3 reader ids, each saturated well past its 64-report window.
+		t.Errorf("retained %d reports, want %d", got, 3*64)
+	}
+	for _, id := range s.Readers() {
+		if s.Latest(id) == nil {
+			t.Errorf("reader %d has history but no latest report", id)
+		}
+	}
+}
+
+// TestStoreTrimSteadyState confirms the window keeps sliding correctly
+// long after the first trim (the copy-down path runs on every Add once
+// saturated).
+func TestStoreTrimSteadyState(t *testing.T) {
+	const keep = 8
+	s := NewStore(keep)
+	for i := 0; i < 10*keep; i++ {
+		s.Add(&telemetry.Report{ReaderID: 1, Seq: uint32(i), Timestamp: at(i % 60)})
+	}
+	if got := s.Latest(1).Seq; got != 10*keep-1 {
+		t.Errorf("latest seq %d, want %d", got, 10*keep-1)
+	}
+	if got := s.Ingested(); got != 10*keep {
+		t.Errorf("ingested counter %d, want %d (must not be capped by retention)", got, 10*keep)
+	}
+	if got := s.TotalReports(); got != keep {
+		t.Errorf("retained %d reports, want %d", got, keep)
+	}
+	s.mu.RLock()
+	h := s.history[1]
+	s.mu.RUnlock()
+	for i, r := range h {
+		if want := uint32(10*keep - keep + i); r.Seq != want {
+			t.Fatalf("window[%d] holds seq %d, want %d (%s)", i, r.Seq, want,
+				fmt.Sprintf("full window %v", seqs(h)))
+		}
+	}
+}
+
+func seqs(h []*telemetry.Report) []uint32 {
+	out := make([]uint32, len(h))
+	for i, r := range h {
+		out[i] = r.Seq
+	}
+	return out
+}

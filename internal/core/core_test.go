@@ -13,14 +13,14 @@ import (
 // testScene bundles the fixtures most core tests need: a reader array
 // on a pole and a way to synthesize collision captures from devices.
 type testScene struct {
-	t     *testing.T
+	t     testing.TB
 	cfg   rfsim.CaptureConfig
 	arr   rfsim.Array
 	rng   *rand.Rand
 	param Params
 }
 
-func newTestScene(t *testing.T, seed int64) *testScene {
+func newTestScene(t testing.TB, seed int64) *testScene {
 	t.Helper()
 	param := DefaultParams()
 	arr, err := rfsim.TriangleOnPole(geom.V(0, -5, 0), 3.8, geom.V(1, 0, 0), 60, param.Wavelength/2)

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"caraoke/internal/phy"
 )
 
 // DecodeAll recovers every colliding transponder's frame from one
@@ -17,6 +19,17 @@ import (
 // the shared set. The result maps each requested CFO to its decode,
 // with Queries recording how many collisions that id needed.
 func DecodeAll(src CaptureSource, sampleRate float64, targetFreqs []float64, maxQueries int) (map[float64]DecodeResult, error) {
+	return decodeAllWorkers(src, sampleRate, targetFreqs, maxQueries, 1)
+}
+
+// decodeAllWorkers is the shared implementation behind DecodeAll and
+// DecodeAllParallel. Captures are acquired serially (they model
+// successive reader queries and must stay ordered), then each live
+// target combines the new collision and re-attempts its decode —
+// independent per-target work that fans out across the pool. Per-target
+// outcomes land in index-addressed slots and merge after the barrier,
+// so results do not depend on goroutine scheduling.
+func decodeAllWorkers(src CaptureSource, sampleRate float64, targetFreqs []float64, maxQueries, workers int) (map[float64]DecodeResult, error) {
 	if maxQueries <= 0 {
 		return nil, fmt.Errorf("core: maxQueries %d must be positive", maxQueries)
 	}
@@ -27,31 +40,46 @@ func DecodeAll(src CaptureSource, sampleRate float64, targetFreqs []float64, max
 	for i, f := range targetFreqs {
 		decs[i] = NewDecoder(sampleRate, f)
 	}
+	type outcome struct {
+		frame *phy.Frame
+		err   error
+	}
 	out := make(map[float64]DecodeResult, len(targetFreqs))
 	remaining := len(targetFreqs)
+	results := make([]outcome, len(targetFreqs))
 	for q := 0; q < maxQueries && remaining > 0; q++ {
 		capture, err := src()
 		if err != nil {
 			return nil, fmt.Errorf("core: query %d: %w", q, err)
 		}
-		for i, dec := range decs {
+		parallelFor(len(decs), workers, func(i int) {
+			results[i] = outcome{}
+			dec := decs[i]
 			if dec == nil {
-				continue
+				return
 			}
 			if err := dec.Add(capture); err != nil {
 				// This target's spike vanished (e.g. the car left);
 				// keep the others going.
-				continue
+				return
 			}
 			f, err := dec.TryDecode()
 			if err == nil {
-				out[targetFreqs[i]] = DecodeResult{Frame: f, Queries: dec.N()}
-				decs[i] = nil
-				remaining--
-				continue
+				results[i].frame = f
+				return
 			}
 			if !errors.Is(err, ErrNeedMoreCollisions) {
-				return nil, err
+				results[i].err = err
+			}
+		})
+		for i, res := range results {
+			if res.err != nil {
+				return nil, res.err
+			}
+			if res.frame != nil {
+				out[targetFreqs[i]] = DecodeResult{Frame: res.frame, Queries: decs[i].N()}
+				decs[i] = nil
+				remaining--
 			}
 		}
 	}

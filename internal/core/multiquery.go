@@ -29,6 +29,17 @@ import (
 // Channels are taken from the last capture (callers doing AoA on a
 // specific query should use AnalyzeCapture on that capture).
 func AnalyzeCaptures(mcs []*rfsim.MultiCapture, p Params) ([]Spike, error) {
+	return analyzeCapturesWorkers(mcs, p, 1)
+}
+
+// analyzeCapturesWorkers is the shared implementation behind
+// AnalyzeCaptures and AnalyzeCapturesParallel. The two expensive stages
+// — one FFT per capture and the per-peak refinement/occupancy chain
+// (a few dozen Goertzel filters per peak per capture) — are
+// embarrassingly parallel; everything else stays serial. Per-capture
+// spectra accumulate in capture order and per-peak results merge in
+// peak order, so any worker count produces bit-identical spikes.
+func analyzeCapturesWorkers(mcs []*rfsim.MultiCapture, p Params, workers int) ([]Spike, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -50,9 +61,12 @@ func AnalyzeCaptures(mcs []*rfsim.MultiCapture, p Params) ([]Spike, error) {
 		}
 	}
 	// Root-mean-square magnitude spectrum across queries.
+	specs := make([]*dsp.Spectrum, len(mcs))
+	parallelFor(len(mcs), workers, func(i int) {
+		specs[i] = dsp.NewSpectrum(mcs[i].Antennas[0], p.SampleRate)
+	})
 	acc := make([]float64, n)
-	for _, mc := range mcs {
-		spec := dsp.NewSpectrum(mc.Antennas[0], p.SampleRate)
+	for _, spec := range specs {
 		for k, v := range spec.Bins {
 			re, im := real(v), imag(v)
 			acc[k] += re*re + im*im
@@ -81,8 +95,10 @@ func AnalyzeCaptures(mcs []*rfsim.MultiCapture, p Params) ([]Spike, error) {
 
 	last := mcs[len(mcs)-1]
 	binW := avg.BinWidth()
-	spikes := make([]Spike, 0, len(peaks))
-	for _, pk := range peaks {
+	strongest := strongestMag(peaks)
+	results := make([]*Spike, len(peaks))
+	parallelFor(len(peaks), workers, func(pi int) {
+		pk := peaks[pi]
 		// Median refined frequency across captures.
 		freqs := make([]float64, 0, len(mcs))
 		for _, mc := range mcs {
@@ -150,7 +166,7 @@ func AnalyzeCaptures(mcs []*rfsim.MultiCapture, p Params) ([]Spike, error) {
 		}
 		// Tone-purity vote for weak spikes that look single: a carrier
 		// is pure in every capture; a data-floor maximum is not.
-		if !s.Multiple && pk.Mag < p.PurityMaxRel*strongestMag(peaks) && p.PurityMin > 0 {
+		if !s.Multiple && pk.Mag < p.PurityMaxRel*strongest && p.PurityMin > 0 {
 			pure := 0
 			for _, mc := range mcs {
 				if purity(mc.Antennas[0], p.SampleRate, freq, binW) >= p.PurityMin {
@@ -158,10 +174,16 @@ func AnalyzeCaptures(mcs []*rfsim.MultiCapture, p Params) ([]Spike, error) {
 				}
 			}
 			if pure*2 <= len(mcs) {
-				continue
+				return
 			}
 		}
-		spikes = append(spikes, s)
+		results[pi] = &s
+	})
+	spikes := make([]Spike, 0, len(peaks))
+	for _, r := range results {
+		if r != nil {
+			spikes = append(spikes, *r)
+		}
 	}
 	suppressResolvedNeighbors(spikes, binW, p.Occupancy.WindowFrac)
 	return spikes, nil

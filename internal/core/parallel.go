@@ -1,0 +1,67 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"caraoke/internal/rfsim"
+)
+
+// parallelFor runs fn(0..n-1) across at most workers goroutines. With
+// workers ≤ 1 (or a single item) it degenerates to a plain loop on the
+// calling goroutine, so serial and parallel paths share one body.
+// Iterations must be independent; callers keep determinism by writing
+// results into index-addressed slots and merging in index order after
+// the barrier.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// AnalyzeCapturesParallel is AnalyzeCaptures with the two hot stages —
+// the per-capture FFTs and the per-peak refinement/occupancy chain —
+// fanned out across a worker pool. Results are merged in index order,
+// so the output is identical to the serial path for any worker count.
+// workers ≤ 0 uses one worker per available CPU.
+func AnalyzeCapturesParallel(mcs []*rfsim.MultiCapture, p Params, workers int) ([]Spike, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return analyzeCapturesWorkers(mcs, p, workers)
+}
+
+// DecodeAllParallel is DecodeAll with the per-target combine/decode
+// work of each shared collision fanned out across a worker pool. Each
+// target's decoder consumes the same captures in the same order as the
+// serial path, so the decoded frames and per-id query counts are
+// identical. workers ≤ 0 uses one worker per available CPU.
+func DecodeAllParallel(src CaptureSource, sampleRate float64, targetFreqs []float64, maxQueries, workers int) (map[float64]DecodeResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return decodeAllWorkers(src, sampleRate, targetFreqs, maxQueries, workers)
+}

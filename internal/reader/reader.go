@@ -6,6 +6,7 @@
 package reader
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -28,6 +29,10 @@ type Reader struct {
 	// sets the ~100-foot interrogation range together with transponder
 	// sensitivity.
 	QueryAmplitude float64
+	// Workers sets the DSP worker-pool size for capture analysis and
+	// collision decoding; ≤ 1 runs serial. Results are identical for
+	// any value — only wall-clock time changes.
+	Workers int
 
 	seq uint32
 }
@@ -41,6 +46,7 @@ type Config struct {
 	TiltDeg    float64   // antenna-plane tilt (paper: 60°)
 	NoiseSigma float64   // receiver noise, linear amplitude per sample
 	ADCBits    int       // 12 in the prototype; 0 disables quantization
+	Workers    int       // DSP worker-pool size; ≤ 1 runs serial
 }
 
 // New builds a reader with the prototype's triangle array and capture
@@ -63,6 +69,7 @@ func New(cfg Config) (*Reader, error) {
 			ADCBits:    cfg.ADCBits,
 		},
 		QueryAmplitude: 1.0,
+		Workers:        cfg.Workers,
 	}, nil
 }
 
@@ -102,11 +109,46 @@ func (r *Reader) Measure(devs []*transponder.Device, queries int, rng *rand.Rand
 		}
 		mcs = append(mcs, mc)
 	}
-	spikes, err := core.AnalyzeCaptures(mcs, r.Params)
+	spikes, err := core.AnalyzeCapturesParallel(mcs, r.Params, r.workerCount())
 	if err != nil {
 		return core.CountResult{}, err
 	}
 	return core.CountFromSpikes(spikes), nil
+}
+
+// workerCount clamps Workers to the pool size the core entry points
+// expect (≥ 1; their own ≤ 0 convention means "one per CPU", which is
+// not this field's contract).
+func (r *Reader) workerCount() int {
+	if r.Workers < 1 {
+		return 1
+	}
+	return r.Workers
+}
+
+// DecodeIDs runs the §8 collision decoder against the current scene:
+// it keeps issuing fresh queries (each a new shared collision) and
+// coherently combines them per target CFO until every target's frame
+// passes its checksum or maxQueries runs out. Targets that stay
+// undecodable within the budget are simply absent from the result —
+// §12.4's point is that the collisions are shared, so slow targets
+// never cost the fast ones extra queries.
+func (r *Reader) DecodeIDs(devs []*transponder.Device, freqs []float64, maxQueries int, rng *rand.Rand) (map[float64]core.DecodeResult, error) {
+	if len(freqs) == 0 {
+		return nil, nil
+	}
+	src := func() ([]complex128, error) {
+		mc, err := r.Query(devs, rng)
+		if err != nil {
+			return nil, err
+		}
+		return mc.Reference(), nil
+	}
+	out, err := core.DecodeAllParallel(src, r.Params.SampleRate, freqs, maxQueries, r.workerCount())
+	if err != nil && !errors.Is(err, core.ErrNeedMoreCollisions) {
+		return nil, fmt.Errorf("reader %d: %w", r.ID, err)
+	}
+	return out, nil
 }
 
 // Report converts a measurement into a telemetry report stamped with

@@ -68,6 +68,16 @@ type MultiCapture struct {
 	Antennas   [][]complex128
 }
 
+// Reference returns the reference-antenna stream (element 0) — the one
+// the counting and collision-decoding pipelines analyze. It returns nil
+// for a capture with no antennas.
+func (mc *MultiCapture) Reference() []complex128 {
+	if len(mc.Antennas) == 0 {
+		return nil
+	}
+	return mc.Antennas[0]
+}
+
 // Capture synthesizes the baseband streams an array digitizes while the
 // given transmissions are on the air. For transmission i and antenna a:
 //

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// fuzzSeedReports are the hand-picked shapes the fuzzer mutates from:
+// empty, typical, and edge-of-format reports. They are also marshaled
+// into the checked-in seed corpus under testdata/fuzz (regenerate with
+// `go run gen_seed_corpus.go` from this directory).
+func fuzzSeedReports() []*Report {
+	return []*Report{
+		{},
+		{
+			ReaderID:  7,
+			Seq:       42,
+			Timestamp: time.Date(2015, 8, 17, 8, 0, 1, 500, time.UTC),
+			Count:     3,
+			Spikes: []SpikeRecord{
+				{FreqHz: 214.5e3, Multiple: false, Channels: []complex128{complex(0.5, -0.25), complex(-1, 2)}},
+				{FreqHz: 812.25e3, Multiple: true, DecodedID: 0xE5A1910DB480015, Channels: []complex128{complex(3, 4)}},
+			},
+		},
+		{
+			ReaderID:  math.MaxUint32,
+			Seq:       math.MaxUint32,
+			Timestamp: time.Unix(0, math.MinInt64),
+			Count:     -1,
+			Spikes:    []SpikeRecord{{FreqHz: math.Inf(1), Channels: []complex128{complex(math.NaN(), math.Inf(-1))}}},
+		},
+	}
+}
+
+// FuzzReportRoundTrip feeds arbitrary bytes to the report parser: it
+// must never panic, and any payload it accepts must survive a
+// marshal → unmarshal → marshal cycle byte-identically (byte-level
+// comparison makes the check NaN-safe).
+func FuzzReportRoundTrip(f *testing.F) {
+	for _, r := range fuzzSeedReports() {
+		b, err := r.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalReport(data)
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		out, err := r.Marshal()
+		if err != nil {
+			t.Fatalf("accepted payload fails to re-marshal: %v", err)
+		}
+		r2, err := UnmarshalReport(out)
+		if err != nil {
+			t.Fatalf("round-tripped payload rejected: %v", err)
+		}
+		out2, err := r2.Marshal()
+		if err != nil {
+			t.Fatalf("second marshal failed: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("marshal is not a fixed point:\n first: %x\nsecond: %x", out, out2)
+		}
+	})
+}
+
+// FuzzFrameRoundTrip drives the framed wire format (magic, version,
+// length, CRC): whatever ReadFrame accepts must re-frame identically.
+func FuzzFrameRoundTrip(f *testing.F) {
+	for _, r := range fuzzSeedReports() {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, r); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{0x41, 0x52, 0x41, 0x43}) // magic, truncated
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, r); err != nil {
+			t.Fatalf("accepted frame fails to re-frame: %v", err)
+		}
+		r2, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-framed report rejected: %v", err)
+		}
+		b1, err1 := r.Marshal()
+		b2, err2 := r2.Marshal()
+		if err1 != nil || err2 != nil || !bytes.Equal(b1, b2) {
+			t.Fatalf("frame round trip changed the report: %x vs %x (%v, %v)", b1, b2, err1, err2)
+		}
+	})
+}

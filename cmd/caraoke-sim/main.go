@@ -34,6 +34,8 @@ func main() {
 	decodeBudget := flag.Int("decode-budget", 120, "max collisions combined per decode run")
 	equipped := flag.Float64("equipped", 1, "fraction of cars carrying a transponder")
 	speedLimit := flag.Float64("speed-limit", 13, "speed-service limit, m/s")
+	shards := flag.Int("shards", collector.DefaultShards, "collector store shards (results identical for any value)")
+	batch := flag.Int("batch", 1, "telemetry reports coalesced per uplink frame (1 = single-report frames)")
 	flag.Parse()
 
 	cfg := city.Config{
@@ -47,6 +49,8 @@ func main() {
 		DecodeEvery:    *decodeEvery,
 		DecodeBudget:   *decodeBudget,
 		UnequippedFrac: 1 - *equipped,
+		Shards:         *shards,
+		Batch:          *batch,
 	}
 	start := time.Now()
 	res, err := city.Run(cfg)

@@ -91,6 +91,14 @@ type Config struct {
 	// Keep is the collector's per-reader report retention (default
 	// 8192).
 	Keep int
+	// Shards is the collector store's shard count (default: the
+	// collector's DefaultShards). Results are identical for any value.
+	Shards int
+	// Batch is how many telemetry reports a reader coalesces into one
+	// batch frame before flushing its uplink (default 1 = a single-
+	// report frame per epoch, the legacy wire behavior). Results are
+	// identical for any value; only framing and syscall counts change.
+	Batch int
 }
 
 // withDefaults fills zero fields.
@@ -128,6 +136,9 @@ func (c Config) withDefaults() Config {
 	if c.Keep == 0 {
 		c.Keep = 8192
 	}
+	if c.Batch == 0 {
+		c.Batch = 1
+	}
 	return c
 }
 
@@ -149,6 +160,9 @@ func (c *Config) validate() error {
 	}
 	if c.Block <= 0 || c.Range <= 0 {
 		return fmt.Errorf("city: block %g and range %g must be positive", c.Block, c.Range)
+	}
+	if c.Batch < 0 || c.Shards < 0 {
+		return fmt.Errorf("city: batch %d and shards %d must be non-negative", c.Batch, c.Shards)
 	}
 	return nil
 }
@@ -303,26 +317,54 @@ func (s *Sim) vehiclePos(v *vehicle) geom.Vec3 {
 // deterministic; disjoint claims are also what make the concurrent
 // measurement goroutines race-free (a device's position, envelope
 // cache, and battery budget are only touched by its claiming reader).
+//
+// The candidate set per reader comes from a uniform-grid spatial index
+// (cell size = interrogation range) rebuilt each epoch, so the claim
+// step costs O(vehicles + readers × in-range density) instead of
+// O(readers × vehicles). Candidates are visited in fleet order —
+// vehicles first, then parked cars — which is exactly the linear
+// scan's order, so the partition is identical (claimLinear remains as
+// the equality oracle).
 func (s *Sim) claim() [][]*transponder.Device {
+	idx := newClaimIndex(s.cfg.Range, s.activeDevices())
 	claims := make([][]*transponder.Device, len(s.posts))
 	taken := make(map[*transponder.Device]bool)
+	for i, p := range s.posts {
+		for _, d := range idx.within(p.rd.Center(), s.cfg.Range) {
+			if !taken[d] {
+				claims[i] = append(claims[i], d)
+				taken[d] = true
+			}
+		}
+	}
+	return claims
+}
+
+// activeDevices refreshes vehicle transponder positions and returns
+// every claimable device in claim-priority order: equipped vehicles in
+// fleet order, then parked cars in spot order.
+func (s *Sim) activeDevices() []*transponder.Device {
+	devs := make([]*transponder.Device, 0, len(s.vehicles)+len(s.parked))
 	for _, v := range s.vehicles {
 		if v.dev != nil {
 			v.dev.Pos = s.vehiclePos(v)
+			devs = append(devs, v.dev)
 		}
 	}
+	devs = append(devs, s.parked...)
+	return devs
+}
+
+// claimLinear is the pre-index O(readers × vehicles) claim scan, kept
+// as the oracle the grid index is tested against (and benchmarked
+// over).
+func (s *Sim) claimLinear() [][]*transponder.Device {
+	devs := s.activeDevices()
+	claims := make([][]*transponder.Device, len(s.posts))
+	taken := make(map[*transponder.Device]bool)
 	for i, p := range s.posts {
 		center := p.rd.Center()
-		for _, v := range s.vehicles {
-			if v.dev == nil || taken[v.dev] {
-				continue
-			}
-			if v.dev.Pos.Dist(center) <= s.cfg.Range {
-				claims[i] = append(claims[i], v.dev)
-				taken[v.dev] = true
-			}
-		}
-		for _, d := range s.parked {
+		for _, d := range devs {
 			if !taken[d] && d.Pos.Dist(center) <= s.cfg.Range {
 				claims[i] = append(claims[i], d)
 				taken[d] = true
@@ -371,7 +413,7 @@ type Result struct {
 // across all readers. It blocks until every report has landed in the
 // store.
 func (s *Sim) Run() (*Result, error) {
-	store := collector.NewStore(s.cfg.Keep)
+	store := collector.NewShardedStore(s.cfg.Keep, s.cfg.Shards)
 	srv := collector.NewServer(store)
 	srv.Logf = func(string, ...any) {} // keep harness output clean
 	addr, err := srv.Start("127.0.0.1:0")
@@ -419,8 +461,19 @@ func (s *Sim) Run() (*Result, error) {
 		}
 		expected += len(s.posts)
 	}
-	if err := waitForReports(store, expected, 10*time.Second); err != nil {
-		return nil, err
+	// Flush reports still coalescing in the uplink batches.
+	for i, c := range clients {
+		if err := c.Flush(); err != nil {
+			return nil, fmt.Errorf("city: reader %d uplink flush: %w", s.posts[i].rd.ID, err)
+		}
+	}
+	// The uplinks are real TCP, so sends complete before the server has
+	// necessarily read them; block until every report has landed. The
+	// barrier tracks Ingested, not retained history: a run longer than
+	// the store's keep window trims old reports, but every report still
+	// has to land.
+	if err := store.WaitIngested(expected, 10*time.Second); err != nil {
+		return nil, fmt.Errorf("city: %w", err)
 	}
 	return s.summarize(store, expected, epochs), nil
 }
@@ -455,25 +508,20 @@ func (s *Sim) measure(p *post, up *collector.Client, devs []*transponder.Device,
 			}
 		}
 	}
-	if err := up.Send(rep); err != nil {
-		return fmt.Errorf("city: reader %d uplink: %w", p.rd.ID, err)
-	}
-	return nil
-}
-
-// waitForReports blocks until the store has ingested want reports —
-// the uplinks are real TCP, so sends complete before the server has
-// necessarily read them. The barrier tracks Ingested, not retained
-// history: a run longer than the store's keep window trims old
-// reports, but every report still has to land.
-func waitForReports(store *collector.Store, want int, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for store.Ingested() < want {
-		if time.Now().After(deadline) {
-			return fmt.Errorf("city: collector ingested %d of %d reports before timeout",
-				store.Ingested(), want)
+	// Batch = 1 sends the legacy single-report frame; larger batches
+	// coalesce, paying one frame per Batch epochs. Both land the same
+	// reports, so results are identical either way.
+	if s.cfg.Batch <= 1 {
+		if err := up.Send(rep); err != nil {
+			return fmt.Errorf("city: reader %d uplink: %w", p.rd.ID, err)
 		}
-		time.Sleep(2 * time.Millisecond)
+		return nil
+	}
+	up.Queue(rep)
+	if up.Pending() >= s.cfg.Batch {
+		if err := up.Flush(); err != nil {
+			return fmt.Errorf("city: reader %d uplink: %w", p.rd.ID, err)
+		}
 	}
 	return nil
 }

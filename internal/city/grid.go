@@ -1,0 +1,71 @@
+package city
+
+import (
+	"math"
+	"sort"
+
+	"caraoke/internal/geom"
+	"caraoke/internal/transponder"
+)
+
+// claimIndex is a uniform grid over the road plane used by the §9
+// claim step. Cell size equals the interrogation range, so every
+// device within range of a reader lies in the 3×3 cell neighborhood of
+// the reader's own cell — a reader's candidate set is O(local density)
+// instead of the whole fleet, which is what turns the per-epoch claim
+// from O(readers × vehicles) into O(readers × in-range vehicles).
+//
+// Entries carry their insertion order (vehicles in fleet order, then
+// parked cars in spot order) and candidates come back sorted by it, so
+// grid claiming visits devices in exactly the sequence the linear scan
+// did — the claim partition, and with it every downstream result, is
+// identical.
+type claimIndex struct {
+	cell  float64
+	cells map[[2]int][]claimEntry
+}
+
+type claimEntry struct {
+	order int
+	dev   *transponder.Device
+}
+
+// newClaimIndex builds the grid from the devices' current positions.
+// The devs slice order defines claim priority within one reader.
+func newClaimIndex(cell float64, devs []*transponder.Device) *claimIndex {
+	idx := &claimIndex{cell: cell, cells: make(map[[2]int][]claimEntry, len(devs))}
+	for i, d := range devs {
+		k := idx.key(d.Pos.X, d.Pos.Y)
+		idx.cells[k] = append(idx.cells[k], claimEntry{order: i, dev: d})
+	}
+	return idx
+}
+
+func (idx *claimIndex) key(x, y float64) [2]int {
+	return [2]int{int(math.Floor(x / idx.cell)), int(math.Floor(y / idx.cell))}
+}
+
+// within returns the devices within r (3-D distance, matching the
+// linear scan's cutoff against the elevated antenna center) of center,
+// sorted by insertion order. r must be ≤ the grid's cell size for the
+// neighborhood walk to cover the disc.
+func (idx *claimIndex) within(center geom.Vec3, r float64) []*transponder.Device {
+	lo := idx.key(center.X-r, center.Y-r)
+	hi := idx.key(center.X+r, center.Y+r)
+	var hits []claimEntry
+	for cx := lo[0]; cx <= hi[0]; cx++ {
+		for cy := lo[1]; cy <= hi[1]; cy++ {
+			for _, e := range idx.cells[[2]int{cx, cy}] {
+				if e.dev.Pos.Dist(center) <= r {
+					hits = append(hits, e)
+				}
+			}
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool { return hits[a].order < hits[b].order })
+	out := make([]*transponder.Device, len(hits))
+	for i, e := range hits {
+		out[i] = e.dev
+	}
+	return out
+}

@@ -1,8 +1,9 @@
 // Package collector implements the city-side backend: a TCP server
 // ingesting reader reports over the telemetry protocol, an in-memory
-// store, and the smart-city services the paper motivates — traffic
-// counting per intersection, parking occupancy, find-my-car, and speed
-// checks across reader pairs (§1, §4).
+// store (sharded by reader id, see store.go), and the smart-city
+// services the paper motivates — traffic counting per intersection,
+// parking occupancy, find-my-car, and speed checks across reader pairs
+// (§1, §4).
 package collector
 
 import (
@@ -12,164 +13,11 @@ import (
 	"io"
 	"log"
 	"net"
-	"sort"
 	"sync"
 	"time"
 
 	"caraoke/internal/telemetry"
 )
-
-// Store keeps the most recent reports per reader.
-type Store struct {
-	mu       sync.RWMutex
-	history  map[uint32][]*telemetry.Report
-	keep     int
-	ingested int
-}
-
-// NewStore creates a store retaining up to keep reports per reader.
-func NewStore(keep int) *Store {
-	if keep <= 0 {
-		keep = 1024
-	}
-	return &Store{history: make(map[uint32][]*telemetry.Report), keep: keep}
-}
-
-// Add ingests one report.
-func (s *Store) Add(r *telemetry.Report) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ingested++
-	h := append(s.history[r.ReaderID], r)
-	if len(h) > s.keep {
-		// Trim by copying the tail to the front of the backing array.
-		// A plain re-slice (h = h[len(h)-keep:]) walks the retained
-		// window down the array instead, pinning every dropped report
-		// until the slice next reallocates — at a busy reader that is
-		// up to keep dead reports (spikes and all) held live at a time.
-		n := copy(h, h[len(h)-s.keep:])
-		clear(h[n:]) // drop stale pointers beyond the window
-		h = h[:n]
-	}
-	s.history[r.ReaderID] = h
-}
-
-// TotalReports returns the number of retained reports across all
-// readers (retention trims per-reader history to the keep window).
-func (s *Store) TotalReports() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n := 0
-	for _, h := range s.history {
-		n += len(h)
-	}
-	return n
-}
-
-// Ingested returns the number of reports ever added, independent of
-// retention — the barrier harnesses use to confirm every uplinked
-// report has landed before reading results out.
-func (s *Store) Ingested() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.ingested
-}
-
-// Latest returns the most recent report from a reader, or nil.
-func (s *Store) Latest(readerID uint32) *telemetry.Report {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	h := s.history[readerID]
-	if len(h) == 0 {
-		return nil
-	}
-	return h[len(h)-1]
-}
-
-// Readers lists reader ids seen so far, sorted.
-func (s *Store) Readers() []uint32 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids := make([]uint32, 0, len(s.history))
-	for id := range s.history {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
-
-// CountSeries returns (timestamp, count) pairs from a reader within
-// [from, to] — the raw material of the paper's Fig 12 traffic plot.
-func (s *Store) CountSeries(readerID uint32, from, to time.Time) (ts []time.Time, counts []int) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, r := range s.history[readerID] {
-		if r.Timestamp.Before(from) || r.Timestamp.After(to) {
-			continue
-		}
-		ts = append(ts, r.Timestamp)
-		counts = append(counts, r.Count)
-	}
-	return ts, counts
-}
-
-// CarSighting is a find-my-car answer.
-type CarSighting struct {
-	ReaderID uint32
-	Seen     time.Time
-	FreqHz   float64
-}
-
-// FindCar locates the latest sighting of a decoded transponder id
-// across all readers (§4: "allowing a user who forgets where he parked
-// to query the system to locate his parked car").
-func (s *Store) FindCar(id uint64) (CarSighting, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var best CarSighting
-	found := false
-	for readerID, h := range s.history {
-		for _, r := range h {
-			for _, sp := range r.Spikes {
-				if sp.DecodedID == id && (!found || r.Timestamp.After(best.Seen)) {
-					best = CarSighting{ReaderID: readerID, Seen: r.Timestamp, FreqHz: sp.FreqHz}
-					found = true
-				}
-			}
-		}
-	}
-	return best, found
-}
-
-// SightingsByCFO returns, for each reader, its most recent spike whose
-// CFO is within tol of freq — the cross-reader association step used
-// by two-pole localization and speed checks (§6–§7).
-func (s *Store) SightingsByCFO(freq, tol float64) map[uint32]CarSighting {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[uint32]CarSighting)
-	for readerID, h := range s.history {
-		for i := len(h) - 1; i >= 0; i-- {
-			r := h[i]
-			hit := false
-			for _, sp := range r.Spikes {
-				d := sp.FreqHz - freq
-				if d < 0 {
-					d = -d
-				}
-				if d <= tol {
-					out[readerID] = CarSighting{ReaderID: readerID, Seen: r.Timestamp, FreqHz: sp.FreqHz}
-					hit = true
-					break
-				}
-			}
-			if hit {
-				break
-			}
-		}
-	}
-	return out
-}
 
 // Server is the TCP ingest front end.
 type Server struct {
@@ -194,12 +42,19 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("collector: %w", err)
 	}
+	s.ServeListener(ln)
+	return ln.Addr(), nil
+}
+
+// ServeListener serves connections from an already-bound listener until
+// Stop. It is the injection point for tests that wrap a listener to
+// exercise accept-error handling; production callers use Start.
+func (s *Server) ServeListener(ln net.Listener) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s.ln = ln
 	s.cancel = cancel
 	s.wg.Add(1)
 	go s.acceptLoop(ctx)
-	return ln.Addr(), nil
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -210,8 +65,17 @@ func (s *Server) logf(format string, args ...any) {
 	log.Printf(format, args...)
 }
 
+// Accept backoff bounds: transient accept failures (EMFILE, ECONNABORTED
+// under a SYN flood, …) retry with exponential backoff instead of
+// killing the ingest path for every reader in the city.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
 func (s *Server) acceptLoop(ctx context.Context) {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -220,9 +84,27 @@ func (s *Server) acceptLoop(ctx context.Context) {
 				return
 			default:
 			}
+			// net.Error.Temporary is deprecated for general use, but it
+			// remains the only signal listeners give for retryable accept
+			// failures; net/http's Server uses the same test.
+			if te, ok := err.(interface{ Temporary() bool }); ok && te.Temporary() {
+				if backoff == 0 {
+					backoff = acceptBackoffMin
+				} else if backoff *= 2; backoff > acceptBackoffMax {
+					backoff = acceptBackoffMax
+				}
+				s.logf("collector: accept: %v; retrying in %v", err, backoff)
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(backoff):
+				}
+				continue
+			}
 			s.logf("collector: accept: %v", err)
 			return
 		}
+		backoff = 0
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -231,9 +113,10 @@ func (s *Server) acceptLoop(ctx context.Context) {
 	}
 }
 
-// serveConn ingests frames from one reader connection. A corrupt frame
-// aborts the connection (the framing cannot be resynchronized safely);
-// the reader's client reconnects and retries.
+// serveConn ingests frames from one reader connection — single-report
+// and batch frames in any mix. A corrupt frame aborts the connection
+// (the framing cannot be resynchronized safely); the reader's client
+// reconnects and retries.
 func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
 	go func() {
@@ -241,14 +124,14 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 		conn.Close() // unblock reads on shutdown
 	}()
 	for {
-		r, err := telemetry.ReadFrame(conn)
+		rs, err := telemetry.ReadBatch(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && ctx.Err() == nil {
 				s.logf("collector: %v: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
-		s.Store.Add(r)
+		s.Store.AddBatch(rs)
 	}
 }
 
@@ -263,9 +146,24 @@ func (s *Server) Stop() {
 	s.wg.Wait()
 }
 
-// Client is a reader-side uplink connection.
+// DefaultWriteTimeout bounds a client frame write when the caller does
+// not override WriteTimeout: a stalled collector (full TCP window,
+// wedged peer) fails the reader's uplink instead of hanging its epoch
+// forever.
+const DefaultWriteTimeout = 10 * time.Second
+
+// Client is a reader-side uplink connection. It can send reports one
+// frame each (Send) or coalesce several into one batch frame (Queue +
+// Flush, or SendBatch) — the batching path a duty-cycled reader uses to
+// pay one frame per uplink burst instead of one per report.
 type Client struct {
 	conn net.Conn
+	// WriteTimeout bounds each frame write; a deadline exceeded error
+	// fails the send. ≤ 0 disables the deadline. Dial sets
+	// DefaultWriteTimeout.
+	WriteTimeout time.Duration
+
+	pending []*telemetry.Report
 }
 
 // Dial connects to a collector.
@@ -274,13 +172,57 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("collector: dial: %w", err)
 	}
-	return &Client{conn: conn}, nil
+	return &Client{conn: conn, WriteTimeout: DefaultWriteTimeout}, nil
 }
 
-// Send uploads one report.
+// armDeadline applies the write deadline for one frame write.
+func (c *Client) armDeadline() error {
+	if c.WriteTimeout <= 0 {
+		return c.conn.SetWriteDeadline(time.Time{})
+	}
+	return c.conn.SetWriteDeadline(time.Now().Add(c.WriteTimeout))
+}
+
+// Send uploads one report as a single-report frame.
 func (c *Client) Send(r *telemetry.Report) error {
+	if err := c.armDeadline(); err != nil {
+		return fmt.Errorf("collector: send: %w", err)
+	}
 	return telemetry.WriteFrame(c.conn, r)
 }
 
-// Close closes the uplink.
+// SendBatch uploads a batch of reports as one version-2 frame.
+func (c *Client) SendBatch(rs []*telemetry.Report) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	if err := c.armDeadline(); err != nil {
+		return fmt.Errorf("collector: send: %w", err)
+	}
+	return telemetry.WriteBatch(c.conn, rs)
+}
+
+// Queue buffers a report for the next Flush. Queue and Flush are not
+// concurrency-safe; a client belongs to one reader goroutine.
+func (c *Client) Queue(r *telemetry.Report) {
+	c.pending = append(c.pending, r)
+}
+
+// Pending returns the number of queued reports.
+func (c *Client) Pending() int { return len(c.pending) }
+
+// Flush sends every queued report in one batch frame and empties the
+// queue. On error the queue is preserved for a retry after reconnect.
+func (c *Client) Flush() error {
+	if len(c.pending) == 0 {
+		return nil
+	}
+	if err := c.SendBatch(c.pending); err != nil {
+		return err
+	}
+	c.pending = c.pending[:0]
+	return nil
+}
+
+// Close closes the uplink. Queued, unflushed reports are dropped.
 func (c *Client) Close() error { return c.conn.Close() }

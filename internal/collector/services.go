@@ -89,25 +89,9 @@ func (s *SpeedService) Check(freq, tol float64, maxAge time.Duration, now time.T
 	return v, est.Speed > s.LimitMPS, nil
 }
 
-// decodedID looks for a decoded transponder id attached to any report
-// spike at this CFO.
+// decodedID looks for a decoded transponder id sighted at this CFO.
 func (s *SpeedService) decodedID(freq, tol float64) uint64 {
-	s.store.mu.RLock()
-	defer s.store.mu.RUnlock()
-	for _, h := range s.store.history {
-		for _, r := range h {
-			for _, sp := range r.Spikes {
-				d := sp.FreqHz - freq
-				if d < 0 {
-					d = -d
-				}
-				if d <= tol && sp.DecodedID != 0 {
-					return sp.DecodedID
-				}
-			}
-		}
-	}
-	return 0
+	return s.store.DecodedIDAt(freq, tol)
 }
 
 // ParkingService tracks per-spot occupancy from decoded parked-car

@@ -1,0 +1,333 @@
+package collector
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"caraoke/internal/telemetry"
+)
+
+// DefaultShards is the shard count NewStore uses. Reader ids are dense
+// and sequential in every deployment shape this repo models, so modulo
+// sharding spreads them evenly.
+const DefaultShards = 8
+
+// storeShard holds the retained history for the reader ids that hash to
+// it, behind its own lock — writers on different shards never contend.
+type storeShard struct {
+	mu      sync.RWMutex
+	history map[uint32][]*telemetry.Report
+}
+
+// Store keeps the most recent reports per reader, sharded by reader id
+// so concurrent connections contend only when they land on the same
+// shard. A secondary index maps decoded transponder ids to their latest
+// sighting, so find-my-car is a map lookup instead of a scan over every
+// reader's whole history.
+//
+// Determinism contract: shard count never affects results. Every query
+// either touches a single reader (one shard) or folds shards through a
+// sort (Readers) or a per-reader keyed map (SightingsByCFO), so the
+// merge order is fixed regardless of P.
+type Store struct {
+	shards []storeShard
+	keep   int
+
+	// ingestMu guards the run-barrier state: the ingest counter and the
+	// condition WaitIngested sleeps on. Kept apart from the shard locks
+	// so a waiter never blocks writers on unrelated shards.
+	ingestMu sync.Mutex
+	ingestCv *sync.Cond
+	ingested int
+	waiters  int
+
+	// idMu guards the transponder-id → latest-sighting index. Unlike
+	// retained history, the index survives retention trims: a parked
+	// car's last sighting stays queryable however much traffic has
+	// flowed since (§4's find-my-car wants exactly that).
+	idMu sync.RWMutex
+	byID map[uint64]CarSighting
+}
+
+// NewStore creates a store retaining up to keep reports per reader,
+// with DefaultShards shards.
+func NewStore(keep int) *Store {
+	return NewShardedStore(keep, DefaultShards)
+}
+
+// NewShardedStore creates a store with an explicit shard count (≤ 0
+// falls back to DefaultShards).
+func NewShardedStore(keep, shards int) *Store {
+	if keep <= 0 {
+		keep = 1024
+	}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	s := &Store{
+		shards: make([]storeShard, shards),
+		keep:   keep,
+		byID:   make(map[uint64]CarSighting),
+	}
+	for i := range s.shards {
+		s.shards[i].history = make(map[uint32][]*telemetry.Report)
+	}
+	s.ingestCv = sync.NewCond(&s.ingestMu)
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+func (s *Store) shardFor(readerID uint32) *storeShard {
+	return &s.shards[int(readerID)%len(s.shards)]
+}
+
+// Add ingests one report.
+func (s *Store) Add(r *telemetry.Report) {
+	s.addToShard(r)
+	s.indexSightings(r)
+	s.bumpIngested(1)
+}
+
+// AddBatch ingests a batch, advancing the ingest barrier once.
+func (s *Store) AddBatch(rs []*telemetry.Report) {
+	for _, r := range rs {
+		s.addToShard(r)
+		s.indexSightings(r)
+	}
+	s.bumpIngested(len(rs))
+}
+
+func (s *Store) addToShard(r *telemetry.Report) {
+	sh := s.shardFor(r.ReaderID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	h := append(sh.history[r.ReaderID], r)
+	if len(h) > s.keep {
+		// Trim by copying the tail to the front of the backing array.
+		// A plain re-slice (h = h[len(h)-keep:]) walks the retained
+		// window down the array instead, pinning every dropped report
+		// until the slice next reallocates — at a busy reader that is
+		// up to keep dead reports (spikes and all) held live at a time.
+		n := copy(h, h[len(h)-s.keep:])
+		clear(h[n:]) // drop stale pointers beyond the window
+		h = h[:n]
+	}
+	sh.history[r.ReaderID] = h
+}
+
+// indexSightings records the report's decoded spikes in the
+// find-my-car index, keeping the latest sighting per transponder id.
+// idMu is taken once per report, and not at all for the common report
+// with no decoded spikes.
+func (s *Store) indexSightings(r *telemetry.Report) {
+	locked := false
+	for i := range r.Spikes {
+		sp := &r.Spikes[i]
+		if sp.DecodedID == 0 {
+			continue
+		}
+		if !locked {
+			s.idMu.Lock()
+			locked = true
+		}
+		if prev, ok := s.byID[sp.DecodedID]; !ok || r.Timestamp.After(prev.Seen) {
+			s.byID[sp.DecodedID] = CarSighting{ReaderID: r.ReaderID, Seen: r.Timestamp, FreqHz: sp.FreqHz}
+		}
+	}
+	if locked {
+		s.idMu.Unlock()
+	}
+}
+
+func (s *Store) bumpIngested(n int) {
+	s.ingestMu.Lock()
+	s.ingested += n
+	if s.waiters > 0 {
+		s.ingestCv.Broadcast()
+	}
+	s.ingestMu.Unlock()
+}
+
+// TotalReports returns the number of retained reports across all
+// readers (retention trims per-reader history to the keep window).
+func (s *Store) TotalReports() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, h := range sh.history {
+			n += len(h)
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Ingested returns the number of reports ever added, independent of
+// retention — the barrier harnesses use to confirm every uplinked
+// report has landed before reading results out.
+func (s *Store) Ingested() int {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	return s.ingested
+}
+
+// WaitIngested blocks until the store has ingested at least want
+// reports, or the timeout elapses. It is the event-driven run barrier:
+// every Add/AddBatch that lands while someone waits broadcasts on a
+// condition variable, so the waiter wakes the instant the count is
+// reached instead of sleep-polling.
+func (s *Store) WaitIngested(want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	s.waiters++
+	defer func() { s.waiters-- }()
+	// sync.Cond has no timed wait; an AfterFunc broadcast bounds the
+	// sleep and the loop re-checks the deadline on every wake.
+	timer := time.AfterFunc(timeout, func() {
+		s.ingestMu.Lock()
+		s.ingestCv.Broadcast()
+		s.ingestMu.Unlock()
+	})
+	defer timer.Stop()
+	for s.ingested < want {
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("collector: ingested %d of %d reports before timeout", s.ingested, want)
+		}
+		s.ingestCv.Wait()
+	}
+	return nil
+}
+
+// Latest returns the most recent report from a reader, or nil.
+func (s *Store) Latest(readerID uint32) *telemetry.Report {
+	sh := s.shardFor(readerID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	h := sh.history[readerID]
+	if len(h) == 0 {
+		return nil
+	}
+	return h[len(h)-1]
+}
+
+// Readers lists reader ids seen so far, sorted.
+func (s *Store) Readers() []uint32 {
+	var ids []uint32
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.history {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// CountSeries returns (timestamp, count) pairs from a reader within
+// [from, to] — the raw material of the paper's Fig 12 traffic plot.
+func (s *Store) CountSeries(readerID uint32, from, to time.Time) (ts []time.Time, counts []int) {
+	sh := s.shardFor(readerID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, r := range sh.history[readerID] {
+		if r.Timestamp.Before(from) || r.Timestamp.After(to) {
+			continue
+		}
+		ts = append(ts, r.Timestamp)
+		counts = append(counts, r.Count)
+	}
+	return ts, counts
+}
+
+// CarSighting is a find-my-car answer.
+type CarSighting struct {
+	ReaderID uint32
+	Seen     time.Time
+	FreqHz   float64
+}
+
+// FindCar locates the latest sighting of a decoded transponder id
+// (§4: "allowing a user who forgets where he parked to query the
+// system to locate his parked car"). It reads the secondary index —
+// O(1) instead of scanning every reader's history — and, unlike the
+// pre-index scan, still answers after retention has trimmed the report
+// that carried the sighting.
+func (s *Store) FindCar(id uint64) (CarSighting, bool) {
+	s.idMu.RLock()
+	defer s.idMu.RUnlock()
+	sight, ok := s.byID[id]
+	return sight, ok
+}
+
+// DecodedIDAt returns the smallest decoded transponder id whose last
+// sighting's CFO is within tol of freq, or zero — the association step
+// that attaches an identity to a CFO-keyed speed violation. Reading the
+// index instead of scanning history makes it O(decoded ids) and, by
+// taking the smallest match, deterministic when several ids share a
+// CFO bin.
+func (s *Store) DecodedIDAt(freq, tol float64) uint64 {
+	s.idMu.RLock()
+	defer s.idMu.RUnlock()
+	best := uint64(0)
+	for id, sgt := range s.byID {
+		d := sgt.FreqHz - freq
+		if d < 0 {
+			d = -d
+		}
+		if d <= tol && (best == 0 || id < best) {
+			best = id
+		}
+	}
+	return best
+}
+
+// SightingsByCFO returns, for each reader, its most recent spike whose
+// CFO is within tol of freq — the cross-reader association step used
+// by two-pole localization and speed checks (§6–§7).
+func (s *Store) SightingsByCFO(freq, tol float64) map[uint32]CarSighting {
+	out := make(map[uint32]CarSighting)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for readerID, h := range sh.history {
+			for j := len(h) - 1; j >= 0; j-- {
+				r := h[j]
+				hit := false
+				for _, sp := range r.Spikes {
+					d := sp.FreqHz - freq
+					if d < 0 {
+						d = -d
+					}
+					if d <= tol {
+						out[readerID] = CarSighting{ReaderID: readerID, Seen: r.Timestamp, FreqHz: sp.FreqHz}
+						hit = true
+						break
+					}
+				}
+				if hit {
+					break
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// historyFor returns the live retained window for one reader — a test
+// hook for the retention regression tests, which assert on the backing
+// array itself.
+func (s *Store) historyFor(readerID uint32) []*telemetry.Report {
+	sh := s.shardFor(readerID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.history[readerID]
+}

@@ -26,9 +26,7 @@ func TestStoreAddTrimsWithCopy(t *testing.T) {
 		}
 		s.Add(r)
 	}
-	s.mu.RLock()
-	h := s.history[7]
-	s.mu.RUnlock()
+	h := s.historyFor(7)
 	if len(h) != keep {
 		t.Fatalf("retained %d reports, keep is %d", len(h), keep)
 	}
@@ -124,9 +122,7 @@ func TestStoreTrimSteadyState(t *testing.T) {
 	if got := s.TotalReports(); got != keep {
 		t.Errorf("retained %d reports, want %d", got, keep)
 	}
-	s.mu.RLock()
-	h := s.history[1]
-	s.mu.RUnlock()
+	h := s.historyFor(1)
 	for i, r := range h {
 		if want := uint32(10*keep - keep + i); r.Seq != want {
 			t.Fatalf("window[%d] holds seq %d, want %d (%s)", i, r.Seq, want,

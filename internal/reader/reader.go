@@ -78,6 +78,10 @@ func (r *Reader) Center() geom.Vec3 { return r.Array.Center() }
 
 // Query triggers every in-range transponder once and captures the
 // collision. Out-of-range or battery-dead devices stay silent (§3).
+// The reader's Workers knob covers capture synthesis too: the config
+// handed to rfsim.Capture carries it, so a multi-worker reader fans
+// out envelope-rotation synthesis and per-antenna accumulation with
+// bit-identical results.
 func (r *Reader) Query(devs []*transponder.Device, rng *rand.Rand) (*rfsim.MultiCapture, error) {
 	var txs []rfsim.Transmission
 	center := r.Center()
@@ -91,7 +95,9 @@ func (r *Reader) Query(devs []*transponder.Device, rng *rand.Rand) (*rfsim.Multi
 		}
 		txs = append(txs, tx)
 	}
-	return rfsim.Capture(r.Capture, r.Array, txs, rng)
+	cfg := r.Capture
+	cfg.Workers = r.workerCount()
+	return rfsim.Capture(cfg, r.Array, txs, rng)
 }
 
 // Measure performs one duty-cycle active window: `queries` back-to-back

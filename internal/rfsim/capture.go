@@ -38,6 +38,13 @@ type CaptureConfig struct {
 	// ADCFullScale is the quantizer full-scale amplitude. Zero picks
 	// a scale from the capture's own peak (a crude AGC).
 	ADCFullScale float64
+	// Workers sets the synthesis worker-pool size: per-transmission
+	// envelope-rotation/channel precomputation and per-antenna
+	// accumulation fan out across this many goroutines. ≤ 1 runs
+	// serial; the streams are bit-identical for any value because each
+	// antenna accumulates its transmissions in index order and noise /
+	// quantization stay on the calling goroutine.
+	Workers int
 }
 
 // Validate checks the configuration.
@@ -85,6 +92,16 @@ func (mc *MultiCapture) Reference() []complex128 {
 //
 // with h the geometric channel (free-space plus reflectors). AWGN and
 // optional ADC quantization follow.
+//
+// Synthesis runs in two stages so cfg.Workers can fan it out without
+// changing a single bit of output: stage one computes each
+// transmission's oscillator rotation and per-antenna channel
+// coefficients into index-addressed slots (iterations independent);
+// stage two gives each antenna stream to one worker, which accumulates
+// the transmissions in index order — the same float additions in the
+// same order as a serial run. Noise and quantization consume the
+// caller's RNG and therefore always run on the calling goroutine, in
+// antenna order.
 func Capture(cfg CaptureConfig, array Array, txs []Transmission, rng *rand.Rand) (*MultiCapture, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -92,17 +109,23 @@ func Capture(cfg CaptureConfig, array Array, txs []Transmission, rng *rand.Rand)
 	if len(array.Elements) == 0 {
 		return nil, fmt.Errorf("rfsim: array has no elements")
 	}
+	for i := range txs {
+		if txs[i].StartSample < 0 {
+			return nil, fmt.Errorf("rfsim: transmission %d starts at negative sample %d", i, txs[i].StartSample)
+		}
+	}
 	mc := &MultiCapture{SampleRate: cfg.SampleRate}
 	mc.Antennas = make([][]complex128, len(array.Elements))
 	for a := range mc.Antennas {
 		mc.Antennas[a] = make([]complex128, cfg.NumSamples)
 	}
-	for i := range txs {
+
+	// Stage one: per-transmission oscillator rotation (common to all
+	// antennas) and per-antenna channel coefficients.
+	rots := make([][]complex128, len(txs))
+	chans := make([][]complex128, len(txs)) // chans[i][a] = h_{a,i} · A_i
+	parallelFor(len(txs), cfg.Workers, func(i int) {
 		tx := &txs[i]
-		if tx.StartSample < 0 {
-			return nil, fmt.Errorf("rfsim: transmission %d starts at negative sample %d", i, tx.StartSample)
-		}
-		// Oscillator rotation is common to all antennas.
 		rot := make([]complex128, 0, len(tx.Envelope))
 		step := cmplx.Exp(complex(0, 2*math.Pi*tx.CFO/cfg.SampleRate))
 		w := cmplx.Exp(complex(0, tx.Phase))
@@ -113,9 +136,21 @@ func Capture(cfg CaptureConfig, array Array, txs []Transmission, rng *rand.Rand)
 			rot = append(rot, w)
 			w *= step
 		}
+		rots[i] = rot
+		hs := make([]complex128, len(array.Elements))
 		for a, el := range array.Elements {
-			h := Channel(tx.Pos, el, cfg.Wavelength, cfg.Reflectors) * complex(tx.Amplitude, 0)
-			dst := mc.Antennas[a]
+			hs[a] = Channel(tx.Pos, el, cfg.Wavelength, cfg.Reflectors) * complex(tx.Amplitude, 0)
+		}
+		chans[i] = hs
+	})
+
+	// Stage two: per-antenna accumulation, transmissions in index order.
+	parallelFor(len(mc.Antennas), cfg.Workers, func(a int) {
+		dst := mc.Antennas[a]
+		for i := range txs {
+			tx := &txs[i]
+			h := chans[i][a]
+			rot := rots[i]
 			for s, e := range tx.Envelope {
 				idx := tx.StartSample + s
 				if idx >= cfg.NumSamples {
@@ -127,7 +162,8 @@ func Capture(cfg CaptureConfig, array Array, txs []Transmission, rng *rand.Rand)
 				dst[idx] += h * complex(e, 0) * rot[s]
 			}
 		}
-	}
+	})
+
 	if cfg.NoiseSigma > 0 {
 		for a := range mc.Antennas {
 			addNoise(mc.Antennas[a], cfg.NoiseSigma, rng)

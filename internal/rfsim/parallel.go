@@ -1,0 +1,42 @@
+package rfsim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(0..n-1) across at most workers goroutines. With
+// workers ≤ 1 (or a single item) it degenerates to a plain loop on the
+// calling goroutine, so the serial and parallel synthesis paths share
+// one body. Iterations must be independent; Capture keeps determinism
+// by giving each iteration its own index-addressed output slot (stage
+// one) or its own antenna stream accumulated in transmission order
+// (stage two), so the float operations happen in the same order as a
+// serial run.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,181 @@
+package telemetry
+
+// Batch framing: a duty-cycled reader coalesces an epoch's (or several
+// epochs') reports into one frame instead of paying a TCP segment and a
+// header per report — §12.5's "few kilobits" per query makes a report
+// far smaller than the per-frame overhead at city scale. A batch frame
+// is versioned alongside the single-report frame: same magic, version
+// byte 2, and a payload of length-prefixed report payloads. Collectors
+// accept both versions on one connection, so old readers keep working
+// against new collectors and batching readers interoperate with any
+// frame the protocol ever shipped.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	// BatchVersion marks a frame whose payload is a report batch.
+	BatchVersion = 2
+	// MaxBatchReports bounds the reports per batch frame.
+	MaxBatchReports = 4096
+	// MaxBatchFrameSize bounds a batch frame's payload.
+	MaxBatchFrameSize = 1 << 24
+)
+
+// MarshalBatch serializes a batch payload (without framing): a u32
+// report count, then each report's payload length-prefixed with a u32.
+func MarshalBatch(rs []*Report) ([]byte, error) {
+	if len(rs) > MaxBatchReports {
+		return nil, fmt.Errorf("telemetry: %d reports exceeds batch limit %d", len(rs), MaxBatchReports)
+	}
+	b := make([]byte, 0, 16+len(rs)*256)
+	b = appendU32(b, uint32(len(rs)))
+	for i, r := range rs {
+		payload, err := r.Marshal()
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: batch report %d: %w", i, err)
+		}
+		if len(payload) > MaxFrameSize {
+			return nil, fmt.Errorf("telemetry: batch report %d: %w", i, ErrTooLarge)
+		}
+		b = appendU32(b, uint32(len(payload)))
+		b = append(b, payload...)
+	}
+	return b, nil
+}
+
+// UnmarshalBatch parses a batch payload.
+func UnmarshalBatch(b []byte) ([]*Report, error) {
+	if len(b) < 4 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(b[:4])
+	if n > MaxBatchReports {
+		return nil, fmt.Errorf("telemetry: batch count %d exceeds limit %d", n, MaxBatchReports)
+	}
+	off := 4
+	rs := make([]*Report, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if off+4 > len(b) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		// Bounds-check as uint32 before converting: on 32-bit platforms
+		// int(l) of a crafted length ≥ 2^31 would go negative and slip
+		// past both guards into a panicking slice expression.
+		l32 := binary.LittleEndian.Uint32(b[off : off+4])
+		off += 4
+		if l32 > MaxFrameSize {
+			return nil, ErrTooLarge
+		}
+		l := int(l32)
+		if off+l > len(b) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		r, err := UnmarshalReport(b[off : off+l])
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: batch report %d: %w", i, err)
+		}
+		off += l
+		rs = append(rs, r)
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("telemetry: %d trailing bytes in batch", len(b)-off)
+	}
+	return rs, nil
+}
+
+// WriteBatch writes one framed batch: magic, version 2, payload length,
+// payload, CRC-32 (Castagnoli) of the payload.
+func WriteBatch(w io.Writer, rs []*Report) error {
+	payload, err := MarshalBatch(rs)
+	if err != nil {
+		return err
+	}
+	if len(payload) > MaxBatchFrameSize {
+		return ErrTooLarge
+	}
+	return writeFramed(w, BatchVersion, payload)
+}
+
+// ReadBatch reads the next frame of either version and returns its
+// reports: a version-1 frame yields a one-report slice, a version-2
+// frame the whole batch. This is the ingest entry point a collector
+// uses so one connection can carry any mix of frame versions.
+func ReadBatch(rd io.Reader) ([]*Report, error) {
+	version, payload, err := readFramed(rd, true)
+	if err != nil {
+		return nil, err
+	}
+	if version == BatchVersion {
+		return UnmarshalBatch(payload)
+	}
+	r, err := UnmarshalReport(payload)
+	if err != nil {
+		return nil, err
+	}
+	return []*Report{r}, nil
+}
+
+// writeFramed writes magic, a version byte, payload length, payload and
+// payload CRC — the framing shared by both protocol versions.
+func writeFramed(w io.Writer, version byte, payload []byte) error {
+	head := make([]byte, 0, 9)
+	head = appendU32(head, Magic)
+	head = append(head, version)
+	head = appendU32(head, uint32(len(payload)))
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, castagnoli))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+// readFramed reads one frame, verifies its CRC, and returns the
+// version byte and payload. Unacceptable versions (anything but 1, or
+// anything but 1 and 2 with acceptBatch) are rejected straight after
+// the 9-byte header — before the payload length is trusted or a byte
+// of payload is buffered — so a v1-only endpoint never allocates the
+// batch limit for a frame it is going to refuse anyway.
+func readFramed(rd io.Reader, acceptBatch bool) (byte, []byte, error) {
+	head := make([]byte, 9)
+	if _, err := io.ReadFull(rd, head); err != nil {
+		return 0, nil, err
+	}
+	if binary.LittleEndian.Uint32(head[:4]) != Magic {
+		return 0, nil, ErrBadMagic
+	}
+	version := head[4]
+	limit := uint32(MaxFrameSize)
+	switch {
+	case version == Version:
+	case version == BatchVersion && acceptBatch:
+		limit = MaxBatchFrameSize
+	default:
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	n := binary.LittleEndian.Uint32(head[5:9])
+	if n > limit {
+		return 0, nil, ErrTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(rd, payload); err != nil {
+		return 0, nil, err
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(rd, crcBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(crcBuf[:]) {
+		return 0, nil, ErrBadCRC
+	}
+	return version, payload, nil
+}

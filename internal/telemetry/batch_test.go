@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func batchReports(n int) []*Report {
+	rs := make([]*Report, 0, n)
+	for i := 0; i < n; i++ {
+		rs = append(rs, &Report{
+			ReaderID:  uint32(i + 1),
+			Seq:       uint32(100 + i),
+			Timestamp: time.Date(2015, 8, 17, 8, 0, i, 0, time.UTC),
+			Count:     i,
+			Spikes: []SpikeRecord{
+				{FreqHz: 50e3 * float64(i+1), Multiple: i%2 == 0,
+					Channels:  []complex128{complex(float64(i), 1), 2 - 3i},
+					DecodedID: uint64(i) << 16},
+			},
+		})
+	}
+	return rs
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7} {
+		rs := batchReports(n)
+		var buf bytes.Buffer
+		if err := WriteBatch(&buf, rs); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBatch(&buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: read %d reports", n, len(got))
+		}
+		for i := range rs {
+			if !reflect.DeepEqual(normalize(rs[i]), normalize(got[i])) {
+				t.Errorf("report %d mismatch:\nsent %+v\ngot  %+v", i, rs[i], got[i])
+			}
+		}
+	}
+}
+
+// normalize strips representation-only differences (nil vs empty
+// slices, timestamp wall/monotonic internals) before DeepEqual.
+func normalize(r *Report) Report {
+	c := *r
+	c.Timestamp = time.Unix(0, r.Timestamp.UnixNano())
+	if len(c.Spikes) == 0 {
+		c.Spikes = nil
+	}
+	return c
+}
+
+// TestReadBatchAcceptsSingleFrames: a collector reading through
+// ReadBatch must ingest legacy version-1 frames from the same
+// connection — the backward-compatibility contract.
+func TestReadBatchAcceptsSingleFrames(t *testing.T) {
+	var buf bytes.Buffer
+	rs := batchReports(3)
+	if err := WriteFrame(&buf, rs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBatch(&buf, rs[1:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, rs[2]); err != nil {
+		t.Fatal(err)
+	}
+	var got []*Report
+	for buf.Len() > 0 {
+		batch, err := ReadBatch(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, batch...)
+	}
+	want := []uint32{rs[0].Seq, rs[1].Seq, rs[2].Seq, rs[2].Seq}
+	if len(got) != 4 {
+		t.Fatalf("read %d reports, want 4 (mixed single and batch frames)", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != want[i] {
+			t.Errorf("report %d: seq %d, want %d", i, r.Seq, want[i])
+		}
+	}
+}
+
+func TestReadFrameRejectsBatchFrames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, batchReports(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("ReadFrame on a batch frame: %v, want ErrBadVersion", err)
+	}
+}
+
+func TestBatchCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, batchReports(2)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)/2] ^= 0x40
+	if _, err := ReadBatch(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupted batch frame accepted")
+	}
+}
+
+func TestBatchLimits(t *testing.T) {
+	if err := WriteBatch(&bytes.Buffer{}, make([]*Report, MaxBatchReports+1)); err == nil {
+		t.Error("oversized batch accepted")
+	}
+}

@@ -201,50 +201,17 @@ func WriteFrame(w io.Writer, r *Report) error {
 	if len(payload) > MaxFrameSize {
 		return ErrTooLarge
 	}
-	head := make([]byte, 0, 13)
-	head = appendU32(head, Magic)
-	head = append(head, Version)
-	head = appendU32(head, uint32(len(payload)))
-	if _, err := w.Write(head); err != nil {
-		return err
-	}
-	if _, err := w.Write(payload); err != nil {
-		return err
-	}
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, castagnoli))
-	_, err = w.Write(crc[:])
-	return err
+	return writeFramed(w, Version, payload)
 }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// ReadFrame reads one framed report.
+// ReadFrame reads one framed version-1 report. Connections that may
+// also carry version-2 batch frames read through ReadBatch instead.
 func ReadFrame(rd io.Reader) (*Report, error) {
-	head := make([]byte, 9)
-	if _, err := io.ReadFull(rd, head); err != nil {
+	_, payload, err := readFramed(rd, false)
+	if err != nil {
 		return nil, err
-	}
-	if binary.LittleEndian.Uint32(head[:4]) != Magic {
-		return nil, ErrBadMagic
-	}
-	if head[4] != Version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, head[4])
-	}
-	n := binary.LittleEndian.Uint32(head[5:9])
-	if n > MaxFrameSize {
-		return nil, ErrTooLarge
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(rd, payload); err != nil {
-		return nil, err
-	}
-	var crcBuf [4]byte
-	if _, err := io.ReadFull(rd, crcBuf[:]); err != nil {
-		return nil, err
-	}
-	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(crcBuf[:]) {
-		return nil, ErrBadCRC
 	}
 	return UnmarshalReport(payload)
 }

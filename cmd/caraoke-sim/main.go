@@ -36,6 +36,8 @@ func main() {
 	speedLimit := flag.Float64("speed-limit", 13, "speed-service limit, m/s")
 	shards := flag.Int("shards", collector.DefaultShards, "collector store shards (results identical for any value)")
 	batch := flag.Int("batch", 1, "telemetry reports coalesced per uplink frame (1 = single-report frames)")
+	lockstep := flag.Bool("lockstep", false, "legacy global per-epoch barrier instead of per-reader pipelines (results identical; the determinism oracle)")
+	pipeline := flag.Int("pipeline", 0, "per-reader epoch lookahead in pipelined mode (0 = default depth; results identical for any value)")
 	flag.Parse()
 
 	cfg := city.Config{
@@ -51,6 +53,8 @@ func main() {
 		UnequippedFrac: 1 - *equipped,
 		Shards:         *shards,
 		Batch:          *batch,
+		Lockstep:       *lockstep,
+		Pipeline:       *pipeline,
 	}
 	start := time.Now()
 	res, err := city.Run(cfg)

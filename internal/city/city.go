@@ -4,21 +4,31 @@
 // synthesizing its own collision captures from the vehicles inside its
 // interrogation zone and streaming telemetry reports over real TCP
 // into the collector backend. It is the scaffold the production-scale
-// load work drives: every epoch fans N reader measurement pipelines
-// (capture synthesis → FFT → spike extraction → §5 count → optional §8
-// collision decode) out across goroutines while the collector ingests
-// their uplinks.
+// load work drives: each reader runs its measurement pipeline (capture
+// synthesis → FFT → spike extraction → §5 count → optional §8
+// collision decode → uplink) as an independent goroutine pair, so a
+// reader's epoch N+1 capture overlaps its epoch N decode and uplink
+// and no reader ever waits on another — the paper's §10/§12.5
+// deployment model, where every reader duty-cycles independently and
+// ships results over a cheap backhaul. A coordinator goroutine owns
+// the shared world (vehicle kinematics, the §9 claim partition) and
+// hands each reader per-epoch device snapshots through a bounded
+// queue; the collector ingests the resulting out-of-order batches
+// keyed by (ReaderID, Seq). Config.Lockstep restores the legacy
+// global per-epoch barrier as the determinism oracle.
 //
 // The harness is deterministic: all randomness flows from Config.Seed
 // through per-subsystem RNG streams (one for city construction, one per
-// reader), concurrent readers touch disjoint state, and every
-// cross-goroutine merge happens in a fixed order — two runs with the
-// same configuration produce identical per-intersection counts and
-// identical decoded-id sets, which is what makes the harness usable as
-// a regression scenario and not just a demo.
+// reader), each reader consumes its stream in epoch order against
+// frozen snapshots, and every cross-goroutine merge happens in a fixed
+// order — two runs with the same configuration, pipelined or lockstep,
+// produce identical per-intersection counts and identical decoded-id
+// sets, which is what makes the harness usable as a regression
+// scenario and not just a demo.
 package city
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -29,6 +39,7 @@ import (
 	"caraoke/internal/collector"
 	"caraoke/internal/geom"
 	"caraoke/internal/reader"
+	"caraoke/internal/telemetry"
 	"caraoke/internal/transponder"
 )
 
@@ -99,6 +110,29 @@ type Config struct {
 	// report frame per epoch, the legacy wire behavior). Results are
 	// identical for any value; only framing and syscall counts change.
 	Batch int
+	// Lockstep restores the legacy run loop: every reader marches
+	// through a global barrier each epoch (capture → decode → uplink,
+	// then wait for all readers) so the slowest reader sets the city's
+	// clock. It is the determinism oracle for the default pipelined
+	// mode — both produce identical Results for the same seed.
+	Lockstep bool
+	// Pipeline is the per-reader epoch lookahead in pipelined mode: how
+	// many epochs a fast reader may run ahead of the slowest before the
+	// coordinator stops feeding it (default 4). Bounded lookahead keeps
+	// the snapshot working set proportional to Readers × Pipeline.
+	// Results are identical for any depth.
+	Pipeline int
+	// DrainTimeout bounds the end-of-run wait for every uplinked report
+	// to land in the collector. Zero scales the default with the run
+	// size (epochs × readers) so a city-day drain is not failed by a
+	// wall-clock constant sized for a smoke test.
+	DrainTimeout time.Duration
+
+	// measureDelay, when set, injects wall-clock latency into a
+	// reader's epoch before it measures — the test/bench hook that
+	// models duty-cycle dwell, backhaul jitter, or a deliberately slow
+	// reader. Simulated time and therefore results are unaffected.
+	measureDelay func(readerID uint32, epoch int) time.Duration
 }
 
 // withDefaults fills zero fields.
@@ -139,6 +173,9 @@ func (c Config) withDefaults() Config {
 	if c.Batch == 0 {
 		c.Batch = 1
 	}
+	if c.Pipeline == 0 {
+		c.Pipeline = 4
+	}
 	return c
 }
 
@@ -164,6 +201,9 @@ func (c *Config) validate() error {
 	if c.Batch < 0 || c.Shards < 0 {
 		return fmt.Errorf("city: batch %d and shards %d must be non-negative", c.Batch, c.Shards)
 	}
+	if c.Pipeline < 0 || c.DrainTimeout < 0 {
+		return fmt.Errorf("city: pipeline %d and drain timeout %v must be non-negative", c.Pipeline, c.DrainTimeout)
+	}
 	return nil
 }
 
@@ -184,12 +224,22 @@ type vehicle struct {
 }
 
 // post is one deployed reader with its private RNG stream (what keeps
-// the concurrent measurement fan-out deterministic) and decode log.
+// the concurrent measurement fan-out deterministic), decode log, and
+// run statistics. Everything here is touched only by the goroutine
+// currently executing this reader's epoch — per-epoch spawns in
+// lockstep mode, one long-lived pipeline goroutine otherwise.
 type post struct {
 	rd           *reader.Reader
 	rng          *rand.Rand
 	intersection int
 	decoded      map[uint64]float64 // transponder id → CFO when decoded
+
+	// Run statistics, accumulated as reports are produced so they
+	// cover the whole run even when the collector's retention window
+	// (Config.Keep) is shorter than the run.
+	reports    int
+	carSeconds int
+	peak       int
 }
 
 // Sim is a constructed city ready to run.
@@ -294,7 +344,12 @@ func (s *Sim) step(dt time.Duration) {
 	for _, v := range s.vehicles {
 		v.s += v.speed * sec
 		if l := s.streets[v.street].length; v.s >= l {
-			v.s -= l
+			// A single subtraction only unwinds one lap; a large step
+			// (or a short street) can overrun by several, leaving s out
+			// of range and vehiclePos off the map. Mod is exact for the
+			// common one-lap case (bit-identical to the subtraction)
+			// and correct for any step size.
+			v.s = math.Mod(v.s, l)
 		}
 	}
 }
@@ -375,6 +430,11 @@ func (s *Sim) claimLinear() [][]*transponder.Device {
 }
 
 // IntersectionStats summarizes one intersection's traffic over a run.
+// The statistics are accumulated as its readers produce reports, so
+// they cover every epoch of the run even when the collector's
+// retention window (Config.Keep) is shorter than the run — Reports
+// summed over all intersections always equals Result.TotalReports,
+// while the store itself may retain fewer.
 type IntersectionStats struct {
 	Index      int
 	X, Y       float64  // intersection center on the road plane
@@ -408,10 +468,27 @@ type Result struct {
 	Start, End time.Time
 }
 
+// epochJob is one epoch of work handed to a reader pipeline: the
+// simulated timestamp, whether this is a §8 decode epoch, and the
+// claimed devices snapshotted at claim time — frozen positions and
+// battery, shared immutable envelopes — so the reader can measure
+// epoch N while the coordinator's kinematics are already at N+k.
+type epochJob struct {
+	epoch  int
+	stamp  time.Time
+	decode bool
+	devs   []*transponder.Device
+}
+
 // Run executes the simulation: an in-process collector server, one TCP
-// uplink per reader, and per epoch a concurrent measurement fan-out
-// across all readers. It blocks until every report has landed in the
-// store.
+// uplink per reader, and every reader running its capture → decode →
+// uplink loop as an independent pipeline (epoch N+1 capture overlaps
+// epoch N decode and uplink; sends ride an async per-reader queue).
+// Config.Lockstep instead reproduces the legacy global per-epoch
+// barrier — the determinism oracle: both modes produce identical
+// Results for the same seed. Run blocks until every reader's final
+// report has landed in the store (a per-reader sequence check, not a
+// global count).
 func (s *Sim) Run() (*Result, error) {
 	store := collector.NewShardedStore(s.cfg.Keep, s.cfg.Shards)
 	srv := collector.NewServer(store)
@@ -433,73 +510,240 @@ func (s *Sim) Run() (*Result, error) {
 	}
 
 	epochs := int(s.cfg.Duration / s.cfg.Epoch)
+	if s.cfg.Lockstep {
+		err = s.runLockstep(clients, epochs)
+	} else {
+		err = s.runPipelined(clients, epochs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// The uplinks are real TCP, so sends complete before the server has
+	// necessarily read them; block until every reader's last sequence
+	// number has landed. The barrier tracks per-reader high-water
+	// marks, not retained history: a run longer than the store's keep
+	// window trims old reports, but every report still has to land —
+	// and no reader's surplus can mask another reader's missing uplink.
+	want := make(map[uint32]uint32, len(s.posts))
+	for _, p := range s.posts {
+		want[p.rd.ID] = uint32(epochs)
+	}
+	timeout := s.cfg.DrainTimeout
+	if timeout == 0 {
+		timeout = drainTimeout(epochs, len(s.posts))
+	}
+	if err := store.WaitHighWater(want, timeout); err != nil {
+		return nil, fmt.Errorf("city: %w", err)
+	}
+	return s.summarize(store, epochs*len(s.posts), epochs), nil
+}
+
+// drainTimeout is the default end-of-run ingest deadline: a floor for
+// tiny runs plus headroom that grows with the number of reports in
+// flight, so a city-day at 64 readers is not failed by a constant
+// sized for a smoke test.
+func drainTimeout(epochs, readers int) time.Duration {
+	return 10*time.Second + time.Duration(epochs)*time.Duration(readers)*200*time.Microsecond
+}
+
+// runLockstep is the legacy epoch loop: advance kinematics, claim,
+// fan out one measurement goroutine per reader, barrier, repeat. Kept
+// as the oracle the pipelined mode is tested against.
+func (s *Sim) runLockstep(clients []*collector.Client, epochs int) error {
 	steps := int(s.cfg.Epoch / s.cfg.Step)
 	now := time.Duration(0)
-	expected := 0
 	for e := 0; e < epochs; e++ {
 		for t := 0; t < steps; t++ {
 			s.step(s.cfg.Step)
 		}
 		now += s.cfg.Epoch
 		claims := s.claim()
-		stamp := baseTime.Add(now)
-		decode := s.cfg.DecodeEvery > 0 && e%s.cfg.DecodeEvery == 0
+		job := epochJob{epoch: e, stamp: baseTime.Add(now), decode: s.decodeAt(e)}
 		errs := make([]error, len(s.posts))
 		var wg sync.WaitGroup
 		for i := range s.posts {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				errs[i] = s.measure(s.posts[i], clients[i], claims[i], stamp, decode)
+				j := job
+				j.devs = claims[i]
+				rep, err := s.measureEpoch(s.posts[i], j)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				errs[i] = s.uplink(s.posts[i], clients[i], rep)
 			}(i)
 		}
 		wg.Wait()
 		for _, err := range errs {
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
-		expected += len(s.posts)
 	}
 	// Flush reports still coalescing in the uplink batches.
 	for i, c := range clients {
 		if err := c.Flush(); err != nil {
-			return nil, fmt.Errorf("city: reader %d uplink flush: %w", s.posts[i].rd.ID, err)
+			return fmt.Errorf("city: reader %d uplink flush: %w", s.posts[i].rd.ID, err)
 		}
 	}
-	// The uplinks are real TCP, so sends complete before the server has
-	// necessarily read them; block until every report has landed. The
-	// barrier tracks Ingested, not retained history: a run longer than
-	// the store's keep window trims old reports, but every report still
-	// has to land.
-	if err := store.WaitIngested(expected, 10*time.Second); err != nil {
-		return nil, fmt.Errorf("city: %w", err)
-	}
-	return s.summarize(store, expected, epochs), nil
+	return nil
 }
 
-// measure runs one reader's epoch: a §10 active window (Queries
-// back-to-back queries, multi-query analysis, §5 count), optionally a
-// §8 decode pass over the single-occupancy spikes, then the telemetry
-// uplink. It runs on its own goroutine; everything it touches — its
-// reader, RNG, claimed devices, and TCP client — is private to it for
-// the duration of the epoch.
-func (s *Sim) measure(p *post, up *collector.Client, devs []*transponder.Device, stamp time.Time, decode bool) error {
-	res, err := p.rd.Measure(devs, s.cfg.Queries, p.rng)
-	if err != nil {
-		return fmt.Errorf("city: reader %d: %w", p.rd.ID, err)
+// runPipelined is the default run loop. The coordinator goroutine owns
+// all global state — vehicle kinematics and the claim partition — and
+// walks it epoch by epoch, handing each reader a snapshot of its
+// claimed devices through a bounded work queue. Each reader owns two
+// goroutines: a measurement loop (capture → analyze → decode) and an
+// uplink sender, connected by a buffered report queue, so a reader's
+// epoch N+1 capture overlaps its own epoch N uplink and nothing ever
+// waits for another reader. Determinism holds because every mutable
+// thing is owned by exactly one loop: the coordinator mutates vehicles
+// and real devices, each reader consumes its private RNG stream in
+// epoch order against frozen snapshots, and the store keys ingest by
+// (ReaderID, Seq).
+func (s *Sim) runPipelined(clients []*collector.Client, epochs int) error {
+	steps := int(s.cfg.Epoch / s.cfg.Step)
+	depth := s.cfg.Pipeline
+	n := len(s.posts)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	work := make([]chan epochJob, n)
+	sendq := make([]chan *telemetry.Report, n)
+	measureErrs := make([]error, n)
+	sendErrs := make([]error, n)
+	var measureWG, sendWG sync.WaitGroup
+	for i := range s.posts {
+		work[i] = make(chan epochJob, depth)
+		sendq[i] = make(chan *telemetry.Report, depth)
+		measureWG.Add(1)
+		go func(i int) {
+			defer measureWG.Done()
+			defer close(sendq[i])
+			for job := range work[i] {
+				rep, err := s.measureEpoch(s.posts[i], job)
+				if err != nil {
+					measureErrs[i] = err
+					cancel()
+					return
+				}
+				select {
+				case sendq[i] <- rep:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(i)
+		sendWG.Add(1)
+		go func(i int) {
+			defer sendWG.Done()
+			p, up := s.posts[i], clients[i]
+			for rep := range sendq[i] {
+				if err := s.uplink(p, up, rep); err != nil {
+					sendErrs[i] = err
+					cancel()
+					return
+				}
+			}
+			if err := up.Flush(); err != nil {
+				sendErrs[i] = fmt.Errorf("city: reader %d uplink flush: %w", p.rd.ID, err)
+				cancel()
+			}
+		}(i)
 	}
-	rep := p.rd.Report(res, stamp)
-	if decode && len(devs) > 0 {
+
+	var coordErr error
+	now := time.Duration(0)
+coordinate:
+	for e := 0; e < epochs; e++ {
+		for t := 0; t < steps; t++ {
+			s.step(s.cfg.Step)
+		}
+		now += s.cfg.Epoch
+		claims := s.claim()
+		job := epochJob{epoch: e, stamp: baseTime.Add(now), decode: s.decodeAt(e)}
+		for i := range s.posts {
+			j := job
+			j.devs, coordErr = s.snapshot(s.posts[i], claims[i])
+			if coordErr != nil {
+				break coordinate
+			}
+			select {
+			case work[i] <- j:
+			case <-ctx.Done():
+				break coordinate
+			}
+		}
+	}
+	for i := range work {
+		close(work[i])
+	}
+	measureWG.Wait()
+	sendWG.Wait()
+	for i := range s.posts {
+		if measureErrs[i] != nil {
+			return measureErrs[i]
+		}
+		if sendErrs[i] != nil {
+			return sendErrs[i]
+		}
+	}
+	return coordErr
+}
+
+// decodeAt reports whether epoch e runs the §8 collision decoder.
+func (s *Sim) decodeAt(e int) bool {
+	return s.cfg.DecodeEvery > 0 && e%s.cfg.DecodeEvery == 0
+}
+
+// snapshot freezes one reader's claimed devices for a pipelined epoch:
+// position and battery copied, modulated envelope shared (immutable
+// once built — building it here, on the coordinator goroutine, keeps
+// the lazy modulation write off the concurrent readers).
+func (s *Sim) snapshot(p *post, devs []*transponder.Device) ([]*transponder.Device, error) {
+	if len(devs) == 0 {
+		return nil, nil
+	}
+	fs := p.rd.Capture.SampleRate
+	out := make([]*transponder.Device, len(devs))
+	for i, d := range devs {
+		cp, err := d.Snapshot(fs)
+		if err != nil {
+			return nil, fmt.Errorf("city: reader %d: %w", p.rd.ID, err)
+		}
+		out[i] = cp
+	}
+	return out, nil
+}
+
+// measureEpoch runs one reader's epoch: a §10 active window (Queries
+// back-to-back queries, multi-query analysis, §5 count) and optionally
+// a §8 decode pass over the single-occupancy spikes. Everything it
+// touches — the post's reader, RNG, statistics, and the epoch's device
+// set — is private to the calling goroutine.
+func (s *Sim) measureEpoch(p *post, job epochJob) (*telemetry.Report, error) {
+	if s.cfg.measureDelay != nil {
+		if d := s.cfg.measureDelay(p.rd.ID, job.epoch); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	res, err := p.rd.Measure(job.devs, s.cfg.Queries, p.rng)
+	if err != nil {
+		return nil, fmt.Errorf("city: reader %d: %w", p.rd.ID, err)
+	}
+	rep := p.rd.Report(res, job.stamp)
+	if job.decode && len(job.devs) > 0 {
 		var freqs []float64
 		for _, sp := range res.Spikes {
 			if !sp.Multiple { // same-bin pairs don't combine coherently
 				freqs = append(freqs, sp.Freq)
 			}
 		}
-		out, err := p.rd.DecodeIDs(devs, freqs, s.cfg.DecodeBudget, p.rng)
+		out, err := p.rd.DecodeIDs(job.devs, freqs, s.cfg.DecodeBudget, p.rng)
 		if err != nil {
-			return fmt.Errorf("city: reader %d decode: %w", p.rd.ID, err)
+			return nil, fmt.Errorf("city: reader %d decode: %w", p.rd.ID, err)
 		}
 		for i := range rep.Spikes {
 			if dr, ok := out[rep.Spikes[i].FreqHz]; ok {
@@ -508,9 +752,19 @@ func (s *Sim) measure(p *post, up *collector.Client, devs []*transponder.Device,
 			}
 		}
 	}
-	// Batch = 1 sends the legacy single-report frame; larger batches
-	// coalesce, paying one frame per Batch epochs. Both land the same
-	// reports, so results are identical either way.
+	p.reports++
+	p.carSeconds += rep.Count
+	if rep.Count > p.peak {
+		p.peak = rep.Count
+	}
+	return rep, nil
+}
+
+// uplink queues one report on a reader's client, flushing per the
+// batch policy. Batch = 1 sends the legacy single-report frame; larger
+// batches coalesce, paying one frame per Batch epochs. Both land the
+// same reports, so results are identical either way.
+func (s *Sim) uplink(p *post, up *collector.Client, rep *telemetry.Report) error {
 	if s.cfg.Batch <= 1 {
 		if err := up.Send(rep); err != nil {
 			return fmt.Errorf("city: reader %d uplink: %w", p.rd.ID, err)
@@ -546,13 +800,13 @@ func (s *Sim) summarize(store *collector.Store, total, epochs int) *Result {
 	for _, p := range s.posts {
 		st := &stats[p.intersection]
 		st.Readers = append(st.Readers, p.rd.ID)
-		_, counts := store.CountSeries(p.rd.ID, res.Start, res.End)
-		st.Reports += len(counts)
-		for _, c := range counts {
-			st.CarSeconds += c
-			if c > st.Peak {
-				st.Peak = c
-			}
+		// Producer-side accumulation, not a store scan: history trimmed
+		// by the keep window must not silently shrink the run summary
+		// (the store still backs the service queries below).
+		st.Reports += p.reports
+		st.CarSeconds += p.carSeconds
+		if p.peak > st.Peak {
+			st.Peak = p.peak
 		}
 	}
 	res.PerIntersection = stats

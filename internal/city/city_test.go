@@ -152,6 +152,20 @@ func TestCityRunOutlivesRetention(t *testing.T) {
 	if got := res.Store.TotalReports(); got != 3 {
 		t.Errorf("store retains %d reports, keep is 3", got)
 	}
+	// Summary statistics accumulate at measurement time, so they cover
+	// the full run even though the store only retains the last Keep
+	// epochs (regression: summarize used to recount trimmed history and
+	// disagree with TotalReports).
+	var sum int
+	for _, ix := range res.PerIntersection {
+		sum += ix.Reports
+	}
+	if sum != res.TotalReports {
+		t.Errorf("per-intersection reports sum to %d, want TotalReports %d", sum, res.TotalReports)
+	}
+	if got := res.Store.HighWater(res.PerIntersection[0].Readers[0]); got != 6 {
+		t.Errorf("high-water %d survives trimming, want 6", got)
+	}
 }
 
 func TestConfigValidation(t *testing.T) {

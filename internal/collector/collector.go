@@ -220,6 +220,12 @@ func (c *Client) Flush() error {
 	if err := c.SendBatch(c.pending); err != nil {
 		return err
 	}
+	// A bare re-slice would keep every flushed *Report pinned in the
+	// backing array until a later Queue overwrites its slot — the same
+	// leak class Store.addToShard trims with clear(). At city scale a
+	// long-lived uplink would otherwise hold its largest-ever batch of
+	// dead reports (spikes, channel estimates and all) forever.
+	clear(c.pending)
 	c.pending = c.pending[:0]
 	return nil
 }

@@ -3,6 +3,7 @@ package collector
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -35,13 +36,19 @@ type Store struct {
 	shards []storeShard
 	keep   int
 
-	// ingestMu guards the run-barrier state: the ingest counter and the
-	// condition WaitIngested sleeps on. Kept apart from the shard locks
-	// so a waiter never blocks writers on unrelated shards.
+	// ingestMu guards the run-barrier state: the ingest counter, the
+	// per-reader sequence high-water marks, and the condition the Wait*
+	// barriers sleep on. Kept apart from the shard locks so a waiter
+	// never blocks writers on unrelated shards.
 	ingestMu sync.Mutex
 	ingestCv *sync.Cond
 	ingested int
-	waiters  int
+	// high[reader] is the largest Report.Seq ingested from that reader —
+	// the per-reader completion marks WaitHighWater checks, robust to
+	// out-of-order arrival across readers because each reader's uplink
+	// stamps its own monotone sequence.
+	high    map[uint32]uint32
+	waiters int
 
 	// idMu guards the transponder-id → latest-sighting index. Unlike
 	// retained history, the index survives retention trims: a parked
@@ -69,6 +76,7 @@ func NewShardedStore(keep, shards int) *Store {
 	s := &Store{
 		shards: make([]storeShard, shards),
 		keep:   keep,
+		high:   make(map[uint32]uint32),
 		byID:   make(map[uint64]CarSighting),
 	}
 	for i := range s.shards {
@@ -89,16 +97,19 @@ func (s *Store) shardFor(readerID uint32) *storeShard {
 func (s *Store) Add(r *telemetry.Report) {
 	s.addToShard(r)
 	s.indexSightings(r)
-	s.bumpIngested(1)
+	s.noteIngested(r)
 }
 
-// AddBatch ingests a batch, advancing the ingest barrier once.
+// AddBatch ingests a batch, advancing the ingest barrier once. Batches
+// from different readers may arrive in any interleaving — each report
+// is keyed by (ReaderID, Seq), so per-reader history order and the
+// high-water marks come out the same regardless.
 func (s *Store) AddBatch(rs []*telemetry.Report) {
 	for _, r := range rs {
 		s.addToShard(r)
 		s.indexSightings(r)
 	}
-	s.bumpIngested(len(rs))
+	s.noteIngested(rs...)
 }
 
 func (s *Store) addToShard(r *telemetry.Report) {
@@ -106,6 +117,16 @@ func (s *Store) addToShard(r *telemetry.Report) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	h := append(sh.history[r.ReaderID], r)
+	// A report can arrive behind its reader's tail (a retried batch, a
+	// reader re-uplinking over a second path). Sequence-keyed insertion
+	// keeps each reader's retained window in Seq order so CountSeries
+	// and Latest stay correct under out-of-order ingest; Seq 0 marks
+	// pre-sequencing senders and keeps plain arrival order.
+	if n := len(h) - 1; n > 0 && r.Seq != 0 && h[n-1].Seq > r.Seq {
+		i := sort.Search(n, func(k int) bool { return h[k].Seq > r.Seq })
+		copy(h[i+1:], h[i:n])
+		h[i] = r
+	}
 	if len(h) > s.keep {
 		// Trim by copying the tail to the front of the backing array.
 		// A plain re-slice (h = h[len(h)-keep:]) walks the retained
@@ -143,13 +164,26 @@ func (s *Store) indexSightings(r *telemetry.Report) {
 	}
 }
 
-func (s *Store) bumpIngested(n int) {
+func (s *Store) noteIngested(rs ...*telemetry.Report) {
 	s.ingestMu.Lock()
-	s.ingested += n
+	s.ingested += len(rs)
+	for _, r := range rs {
+		if r.Seq > s.high[r.ReaderID] {
+			s.high[r.ReaderID] = r.Seq
+		}
+	}
 	if s.waiters > 0 {
 		s.ingestCv.Broadcast()
 	}
 	s.ingestMu.Unlock()
+}
+
+// HighWater returns the largest Report.Seq ingested from a reader
+// (zero when none, or when the reader does not stamp sequences).
+func (s *Store) HighWater(readerID uint32) uint32 {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	return s.high[readerID]
 }
 
 // TotalReports returns the number of retained reports across all
@@ -198,6 +232,49 @@ func (s *Store) WaitIngested(want int, timeout time.Duration) error {
 	for s.ingested < want {
 		if !time.Now().Before(deadline) {
 			return fmt.Errorf("collector: ingested %d of %d reports before timeout", s.ingested, want)
+		}
+		s.ingestCv.Wait()
+	}
+	return nil
+}
+
+// WaitHighWater blocks until every reader in want has delivered a
+// report with Seq ≥ its wanted mark, or the timeout elapses. It is the
+// per-reader completion barrier for pipelined ingest: unlike the global
+// WaitIngested count, it cannot be satisfied by one reader's surplus
+// masking another's missing uplink, and it is insensitive to the order
+// in which readers' batches interleave on the wire. The error, if any,
+// names each lagging reader and how far it got.
+func (s *Store) WaitHighWater(want map[uint32]uint32, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	s.waiters++
+	defer func() { s.waiters-- }()
+	timer := time.AfterFunc(timeout, func() {
+		s.ingestMu.Lock()
+		s.ingestCv.Broadcast()
+		s.ingestMu.Unlock()
+	})
+	defer timer.Stop()
+	reached := func() bool {
+		for id, seq := range want {
+			if s.high[id] < seq {
+				return false
+			}
+		}
+		return true
+	}
+	for !reached() {
+		if !time.Now().Before(deadline) {
+			var lag []string
+			for id, seq := range want {
+				if got := s.high[id]; got < seq {
+					lag = append(lag, fmt.Sprintf("reader %d at seq %d of %d", id, got, seq))
+				}
+			}
+			sort.Strings(lag)
+			return fmt.Errorf("collector: %d readers behind at timeout: %s", len(lag), strings.Join(lag, "; "))
 		}
 		s.ingestCv.Wait()
 	}

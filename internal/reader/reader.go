@@ -34,7 +34,8 @@ type Reader struct {
 	// any value — only wall-clock time changes.
 	Workers int
 
-	seq uint32
+	seq     uint32
+	scratch *rfsim.SynthScratch
 }
 
 // Config bundles reader construction parameters.
@@ -97,6 +98,14 @@ func (r *Reader) Query(devs []*transponder.Device, rng *rand.Rand) (*rfsim.Multi
 	}
 	cfg := r.Capture
 	cfg.Workers = r.workerCount()
+	if r.scratch == nil {
+		// One scratch per reader: a reader issues captures strictly one
+		// at a time (queries within an epoch, epochs within its
+		// pipeline), so reusing the synthesis buffers across every
+		// query it ever makes is race-free and bit-identical.
+		r.scratch = rfsim.NewSynthScratch()
+	}
+	cfg.Scratch = r.scratch
 	return rfsim.Capture(cfg, r.Array, txs, rng)
 }
 

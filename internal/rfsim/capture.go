@@ -38,6 +38,11 @@ type CaptureConfig struct {
 	// ADCFullScale is the quantizer full-scale amplitude. Zero picks
 	// a scale from the capture's own peak (a crude AGC).
 	ADCFullScale float64
+	// Scratch, if non-nil, supplies reusable stage-one buffers (see
+	// SynthScratch). Output is bit-identical with or without it; only
+	// allocation traffic changes. One scratch serves one Capture call
+	// at a time.
+	Scratch *SynthScratch
 	// Workers sets the synthesis worker-pool size: per-transmission
 	// envelope-rotation/channel precomputation and per-antenna
 	// accumulation fan out across this many goroutines. ≤ 1 runs
@@ -121,23 +126,32 @@ func Capture(cfg CaptureConfig, array Array, txs []Transmission, rng *rand.Rand)
 	}
 
 	// Stage one: per-transmission oscillator rotation (common to all
-	// antennas) and per-antenna channel coefficients.
-	rots := make([][]complex128, len(txs))
-	chans := make([][]complex128, len(txs)) // chans[i][a] = h_{a,i} · A_i
+	// antennas) and per-antenna channel coefficients. With a scratch the
+	// rows come from its retained buffers; every element is written
+	// before stage two reads it, so reuse cannot leak stale state.
+	var rots, chans [][]complex128
+	if sc := cfg.Scratch; sc != nil {
+		sc.rots = growRows(sc.rots, len(txs))
+		sc.chans = growRows(sc.chans, len(txs))
+		rots, chans = sc.rots, sc.chans
+	} else {
+		rots = make([][]complex128, len(txs))
+		chans = make([][]complex128, len(txs)) // chans[i][a] = h_{a,i} · A_i
+	}
 	parallelFor(len(txs), cfg.Workers, func(i int) {
 		tx := &txs[i]
-		rot := make([]complex128, 0, len(tx.Envelope))
+		rot := growRow(rots, i, len(tx.Envelope))
 		step := cmplx.Exp(complex(0, 2*math.Pi*tx.CFO/cfg.SampleRate))
 		w := cmplx.Exp(complex(0, tx.Phase))
 		// Advance to the start sample so CFO phase is continuous in
 		// capture time, not envelope time.
 		w *= cmplx.Exp(complex(0, 2*math.Pi*tx.CFO/cfg.SampleRate*float64(tx.StartSample)))
-		for range tx.Envelope {
-			rot = append(rot, w)
+		for s := range tx.Envelope {
+			rot[s] = w
 			w *= step
 		}
 		rots[i] = rot
-		hs := make([]complex128, len(array.Elements))
+		hs := growRow(chans, i, len(array.Elements))
 		for a, el := range array.Elements {
 			hs[a] = Channel(tx.Pos, el, cfg.Wavelength, cfg.Reflectors) * complex(tx.Amplitude, 0)
 		}
@@ -151,15 +165,24 @@ func Capture(cfg CaptureConfig, array Array, txs []Transmission, rng *rand.Rand)
 			tx := &txs[i]
 			h := chans[i][a]
 			rot := rots[i]
-			for s, e := range tx.Envelope {
-				idx := tx.StartSample + s
-				if idx >= cfg.NumSamples {
-					break
+			env := tx.Envelope
+			// Hoist the capture-window clip out of the sample loop.
+			n := len(env)
+			if tx.StartSample+n > cfg.NumSamples {
+				n = cfg.NumSamples - tx.StartSample
+			}
+			for s := 0; s < n; s++ {
+				switch e := env[s]; e {
+				case 0:
+				case 1:
+					// OOK chips are 0/1; multiplying h by complex(1, 0)
+					// is exact in IEEE arithmetic, so skipping it keeps
+					// the stream bit-identical while dropping a complex
+					// multiply from the hottest loop in the simulator.
+					dst[tx.StartSample+s] += h * rot[s]
+				default:
+					dst[tx.StartSample+s] += h * complex(e, 0) * rot[s]
 				}
-				if e == 0 {
-					continue
-				}
-				dst[idx] += h * complex(e, 0) * rot[s]
 			}
 		}
 	})

@@ -1,0 +1,45 @@
+package rfsim
+
+// SynthScratch holds the stage-one synthesis buffers Capture otherwise
+// allocates fresh per call: the per-transmission oscillator-rotation
+// vectors and per-antenna channel coefficient rows. Those buffers never
+// escape Capture — stage two reads them and they die at return — so a
+// caller that issues captures in a loop (a reader's query burst, a
+// pipelined per-reader epoch goroutine) can hand the same scratch to
+// every call and stop paying an allocation plus a zeroing pass per
+// transmission per query.
+//
+// A scratch belongs to one Capture call at a time; Capture's own worker
+// fan-out writes disjoint, index-addressed rows, so cfg.Workers > 1 is
+// fine, but two concurrent Capture calls must not share one scratch.
+// Reuse is bit-identical to fresh allocation: every slot handed out is
+// fully overwritten before it is read.
+type SynthScratch struct {
+	rots  [][]complex128
+	chans [][]complex128
+}
+
+// NewSynthScratch returns an empty scratch; buffers grow on demand and
+// are retained across calls.
+func NewSynthScratch() *SynthScratch { return &SynthScratch{} }
+
+// rows returns a length-n slice-of-slices backed by the scratch,
+// preserving previously grown row buffers beyond n.
+func growRows(rows [][]complex128, n int) [][]complex128 {
+	if cap(rows) < n {
+		grown := make([][]complex128, n)
+		copy(grown, rows)
+		return grown
+	}
+	return rows[:n]
+}
+
+// row returns rows[i] resized to length m, growing its backing array
+// when needed. Contents are unspecified — the caller overwrites every
+// element.
+func growRow(rows [][]complex128, i, m int) []complex128 {
+	if cap(rows[i]) < m {
+		rows[i] = make([]complex128, m)
+	}
+	return rows[i][:m]
+}

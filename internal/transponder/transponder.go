@@ -94,6 +94,40 @@ func (d *Device) TriggeredFrom(queryPos geom.Vec3, txAmp, wavelength float64) bo
 	return d.Triggered(txAmp * rfsim.FreeSpaceAmplitude(dist, wavelength))
 }
 
+// PrepareEnvelope builds (or rebuilds, after a sample-rate change) the
+// cached modulated frame. Reply calls it lazily; a harness that hands
+// out Snapshot copies calls it up front so every copy shares one
+// immutable envelope instead of each re-modulating the frame.
+func (d *Device) PrepareEnvelope(sampleRate float64) error {
+	if d.envelope != nil && d.envelopeFs == sampleRate {
+		return nil
+	}
+	env, err := phy.ModulateFrame(&d.Frame, sampleRate)
+	if err != nil {
+		return fmt.Errorf("transponder %s: %w", d.Frame.String(), err)
+	}
+	d.envelope = env
+	d.envelopeFs = sampleRate
+	return nil
+}
+
+// Snapshot returns a working copy of the device frozen at its current
+// position and battery budget, sharing the modulated-envelope cache
+// (which is immutable once built — the copy never re-modulates at the
+// same sample rate). It is the per-epoch hand-off a pipelined harness
+// gives a reader goroutine: the copy can be measured while the original
+// moves on to later epochs, with no shared mutable state between them.
+// Battery draw against a snapshot stays on the snapshot; at the default
+// 50M-reply budget that bookkeeping loss is unobservable over any
+// simulated run.
+func (d *Device) Snapshot(sampleRate float64) (*Device, error) {
+	if err := d.PrepareEnvelope(sampleRate); err != nil {
+		return nil, err
+	}
+	cp := *d
+	return &cp, nil
+}
+
 // Reply produces this device's response as a transmission ready for
 // the channel simulator. Each call draws a fresh random oscillator
 // phase — the property the coherent-combining decoder relies on (§8) —
@@ -104,13 +138,8 @@ func (d *Device) Reply(readerLO, sampleRate float64, startSample int, rng *rand.
 	if !d.Alive() {
 		return rfsim.Transmission{}, fmt.Errorf("transponder %s: battery exhausted", d.Frame.String())
 	}
-	if d.envelope == nil || d.envelopeFs != sampleRate {
-		env, err := phy.ModulateFrame(&d.Frame, sampleRate)
-		if err != nil {
-			return rfsim.Transmission{}, fmt.Errorf("transponder %s: %w", d.Frame.String(), err)
-		}
-		d.envelope = env
-		d.envelopeFs = sampleRate
+	if err := d.PrepareEnvelope(sampleRate); err != nil {
+		return rfsim.Transmission{}, err
 	}
 	d.RepliesLeft--
 	return rfsim.Transmission{

@@ -20,6 +20,7 @@ import (
 
 	"caraoke/internal/city"
 	"caraoke/internal/collector"
+	"caraoke/internal/faults"
 )
 
 func main() {
@@ -38,6 +39,12 @@ func main() {
 	batch := flag.Int("batch", 1, "telemetry reports coalesced per uplink frame (1 = single-report frames)")
 	lockstep := flag.Bool("lockstep", false, "legacy global per-epoch barrier instead of per-reader pipelines (results identical; the determinism oracle)")
 	pipeline := flag.Int("pipeline", 0, "per-reader epoch lookahead in pipelined mode (0 = default depth; results identical for any value)")
+	chaos := flag.Bool("chaos", false, "switch on the failure model (seeded fault injection; same seed ⇒ identical loss/recovery stats)")
+	loss := flag.Float64("loss", 0.05, "with -chaos: per-frame probability an uplink frame is silently dropped")
+	killInterval := flag.Int("kill-interval", 25, "with -chaos: kill each uplink connection on every k-th frame (0 never)")
+	churn := flag.Float64("churn", 0.1, "with -chaos: per-reader-epoch probability of going offline for a span (parked-car RSU churn)")
+	driftPPM := flag.Float64("drift-ppm", 50, "with -chaos: per-reader clock drift bound, parts per million")
+	resyncEvery := flag.Int("resync-every", 10, "with -chaos: NTP-style clock resync every k-th epoch (0 never)")
 	flag.Parse()
 
 	cfg := city.Config{
@@ -56,6 +63,14 @@ func main() {
 		Lockstep:       *lockstep,
 		Pipeline:       *pipeline,
 	}
+	if *chaos {
+		cfg.Chaos = city.Chaos{
+			Faults:      faults.Config{DropRate: *loss, KillEvery: *killInterval},
+			ChurnRate:   *churn,
+			DriftPPM:    *driftPPM,
+			ResyncEvery: *resyncEvery,
+		}
+	}
 	start := time.Now()
 	res, err := city.Run(cfg)
 	if err != nil {
@@ -68,6 +83,30 @@ func main() {
 	for _, ix := range res.PerIntersection {
 		fmt.Printf("intersection %d at (%.0f,%.0f): readers %v, %d reports, car-seconds %d, peak %d\n",
 			ix.Index, ix.X, ix.Y, ix.Readers, ix.Reports, ix.CarSeconds, ix.Peak)
+	}
+
+	// Chaos accounting: every number below is a pure function of the
+	// flags (injection is keyed to frame order, never wall-clock), so
+	// two runs with the same seed print identical stats — which is what
+	// the CI chaos smoke diffs. Clean runs print nothing here.
+	if res.Uplinks != nil {
+		fmt.Printf("chaos: loss %.2f kill-every %d churn %.2f drift %gppm resync-every %d\n",
+			*loss, *killInterval, *churn, *driftPPM, *resyncEvery)
+		var tot city.UplinkStats
+		for _, u := range res.Uplinks {
+			fmt.Printf("uplink reader %d: delivered %d redelivered %d reconnects %d client-dropped %d | wire: %d frames lost (%d reports) %d kills | store: received %d deduped %d | churn: offline %d epochs, %d departures\n",
+				u.ReaderID, u.Delivered, u.Redelivered, u.Reconnects, u.ClientDropped,
+				u.FramesLost, u.ReportsLost, u.Kills, u.Received, u.Deduped, u.OfflineEpochs, u.Departures)
+			tot.Delivered += u.Delivered
+			tot.Redelivered += u.Redelivered
+			tot.ClientDropped += u.ClientDropped
+			tot.ReportsLost += u.ReportsLost
+			tot.Received += u.Received
+			tot.Deduped += u.Deduped
+			tot.OfflineEpochs += u.OfflineEpochs
+		}
+		fmt.Printf("chaos totals: delivered %d redelivered %d dropped %d lost %d received %d deduped %d offline-epochs %d\n",
+			tot.Delivered, tot.Redelivered, tot.ClientDropped, tot.ReportsLost, tot.Received, tot.Deduped, tot.OfflineEpochs)
 	}
 
 	fmt.Printf("decoded %d transponder ids\n", len(res.Decoded))

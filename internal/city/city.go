@@ -29,6 +29,7 @@ package city
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -36,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"caraoke/internal/clock"
 	"caraoke/internal/collector"
 	"caraoke/internal/geom"
 	"caraoke/internal/reader"
@@ -127,6 +129,10 @@ type Config struct {
 	// size (epochs × readers) so a city-day drain is not failed by a
 	// wall-clock constant sized for a smoke test.
 	DrainTimeout time.Duration
+	// Chaos switches on the failure model: uplink fault injection,
+	// reader churn, and clock drift (see chaos.go). The zero value is
+	// the clean run — bit-identical to a build without this field.
+	Chaos Chaos
 
 	// measureDelay, when set, injects wall-clock latency into a
 	// reader's epoch before it measures — the test/bench hook that
@@ -204,7 +210,7 @@ func (c *Config) validate() error {
 	if c.Pipeline < 0 || c.DrainTimeout < 0 {
 		return fmt.Errorf("city: pipeline %d and drain timeout %v must be non-negative", c.Pipeline, c.DrainTimeout)
 	}
-	return nil
+	return c.Chaos.validate()
 }
 
 // street is one road of the grid. Vehicles wrap at length; world
@@ -233,6 +239,13 @@ type post struct {
 	rng          *rand.Rand
 	intersection int
 	decoded      map[uint64]float64 // transponder id → CFO when decoded
+
+	// clk, when drift is configured, is this reader's free-running
+	// local clock: reports carry clk.Now(stamp) instead of the true
+	// epoch stamp. syncRNG feeds its NTP exchanges — a stream separate
+	// from the measurement RNG, so drift never perturbs results.
+	clk     *clock.Clock
+	syncRNG *rand.Rand
 
 	// Run statistics, accumulated as reports are produced so they
 	// cover the whole run even when the collector's retention window
@@ -335,6 +348,7 @@ func NewSim(cfg Config) (*Sim, error) {
 		c := rd.Center()
 		s.poles[rc.ID] = geom.P(c.X, c.Y)
 	}
+	initClocks(cfg, s.posts)
 	return s, nil
 }
 
@@ -381,10 +395,22 @@ func (s *Sim) vehiclePos(v *vehicle) geom.Vec3 {
 // scan's order, so the partition is identical (claimLinear remains as
 // the equality oracle).
 func (s *Sim) claim() [][]*transponder.Device {
+	return s.claimMask(nil)
+}
+
+// claimMask is claim with a churn mask: a reader marked inactive this
+// epoch claims nothing, so its in-range devices fall to a later
+// (overlapping) reader in id order or go unread — exactly what a
+// departed parked-car RSU's zone looks like. A nil mask means every
+// reader is on, and the partition is identical to the pre-churn claim.
+func (s *Sim) claimMask(active []bool) [][]*transponder.Device {
 	idx := newClaimIndex(s.cfg.Range, s.activeDevices())
 	claims := make([][]*transponder.Device, len(s.posts))
 	taken := make(map[*transponder.Device]bool)
 	for i, p := range s.posts {
+		if active != nil && !active[i] {
+			continue
+		}
 		for _, d := range idx.within(p.rd.Center(), s.cfg.Range) {
 			if !taken[d] {
 				claims[i] = append(claims[i], d)
@@ -466,6 +492,10 @@ type Result struct {
 	Store      *collector.Store
 	Poles      map[uint32]geom.Vec2
 	Start, End time.Time
+	// Uplinks is the per-reader delivery accounting of a chaos run —
+	// client, wire, store, and churn vantage points reconciled. Nil for
+	// a clean run.
+	Uplinks []UplinkStats
 }
 
 // epochJob is one epoch of work handed to a reader pipeline: the
@@ -499,9 +529,16 @@ func (s *Sim) Run() (*Result, error) {
 	}
 	defer srv.Stop()
 
+	epochs := int(s.cfg.Duration / s.cfg.Epoch)
+	ids := make([]uint32, len(s.posts))
+	for i, p := range s.posts {
+		ids[i] = p.rd.ID
+	}
+	cr := newChaosRun(s.cfg, epochs, ids) // nil on the clean path
+
 	clients := make([]*collector.Client, len(s.posts))
-	for i := range s.posts {
-		c, err := collector.Dial(addr.String(), 5*time.Second)
+	for i, p := range s.posts {
+		c, err := cr.dial(p, addr.String())
 		if err != nil {
 			return nil, fmt.Errorf("city: uplink %d: %w", i, err)
 		}
@@ -509,33 +546,56 @@ func (s *Sim) Run() (*Result, error) {
 		clients[i] = c
 	}
 
-	epochs := int(s.cfg.Duration / s.cfg.Epoch)
 	if s.cfg.Lockstep {
-		err = s.runLockstep(clients, epochs)
+		err = s.runLockstep(cr, clients, epochs)
 	} else {
-		err = s.runPipelined(clients, epochs)
+		err = s.runPipelined(cr, clients, epochs)
 	}
 	if err != nil {
 		return nil, err
 	}
 	// The uplinks are real TCP, so sends complete before the server has
-	// necessarily read them; block until every reader's last sequence
-	// number has landed. The barrier tracks per-reader high-water
-	// marks, not retained history: a run longer than the store's keep
-	// window trims old reports, but every report still has to land —
-	// and no reader's surplus can mask another reader's missing uplink.
-	want := make(map[uint32]uint32, len(s.posts))
-	for _, p := range s.posts {
-		want[p.rd.ID] = uint32(epochs)
-	}
+	// necessarily read them; block until every reader's reports have
+	// landed. The barriers track per-reader marks, not retained
+	// history: a run longer than the store's keep window trims old
+	// reports, but every report still has to land — and no reader's
+	// surplus can mask another reader's missing uplink.
 	timeout := s.cfg.DrainTimeout
 	if timeout == 0 {
 		timeout = drainTimeout(epochs, len(s.posts))
 	}
-	if err := store.WaitHighWater(want, timeout); err != nil {
-		return nil, fmt.Errorf("city: %w", err)
+	if cr == nil {
+		// Clean path: lossless, so the exact high-water barrier holds.
+		want := make(map[uint32]uint32, len(s.posts))
+		for _, p := range s.posts {
+			want[p.rd.ID] = uint32(epochs)
+		}
+		if err := store.WaitHighWater(want, timeout); err != nil {
+			return nil, fmt.Errorf("city: %w", err)
+		}
+	} else {
+		// Chaos path: injected loss makes an exact barrier a guaranteed
+		// hang, so drain gap-tolerantly — distinct reports up to the
+		// accounted loss budget — then wait for every wire copy
+		// (duplicates included) so the dedupe counters are settled and
+		// reproducible before anyone reads them.
+		want, budget, copies := cr.drainTargets(s.posts, clients, epochs)
+		if err := store.WaitDelivered(want, budget, timeout); err != nil {
+			return nil, fmt.Errorf("city: %w", err)
+		}
+		if err := store.WaitCopies(copies, timeout); err != nil {
+			return nil, fmt.Errorf("city: %w", err)
+		}
 	}
-	return s.summarize(store, epochs*len(s.posts), epochs), nil
+	produced := 0
+	for _, p := range s.posts {
+		produced += p.reports
+	}
+	res := s.summarize(store, produced, epochs)
+	if cr != nil {
+		res.Uplinks = cr.uplinkStats(s.posts, clients, store, epochs)
+	}
+	return res, nil
 }
 
 // drainTimeout is the default end-of-run ingest deadline: a floor for
@@ -548,8 +608,9 @@ func drainTimeout(epochs, readers int) time.Duration {
 
 // runLockstep is the legacy epoch loop: advance kinematics, claim,
 // fan out one measurement goroutine per reader, barrier, repeat. Kept
-// as the oracle the pipelined mode is tested against.
-func (s *Sim) runLockstep(clients []*collector.Client, epochs int) error {
+// as the oracle the pipelined mode is tested against — including under
+// chaos, where both modes must produce identical delivery counters.
+func (s *Sim) runLockstep(cr *chaosRun, clients []*collector.Client, epochs int) error {
 	steps := int(s.cfg.Epoch / s.cfg.Step)
 	now := time.Duration(0)
 	for e := 0; e < epochs; e++ {
@@ -557,11 +618,15 @@ func (s *Sim) runLockstep(clients []*collector.Client, epochs int) error {
 			s.step(s.cfg.Step)
 		}
 		now += s.cfg.Epoch
-		claims := s.claim()
+		active := cr.activeMask(s.posts, e)
+		claims := s.claimMask(active)
 		job := epochJob{epoch: e, stamp: baseTime.Add(now), decode: s.decodeAt(e)}
 		errs := make([]error, len(s.posts))
 		var wg sync.WaitGroup
 		for i := range s.posts {
+			if active != nil && !active[i] {
+				continue // churned out this epoch: no measurement, no seq
+			}
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
@@ -577,14 +642,16 @@ func (s *Sim) runLockstep(clients []*collector.Client, epochs int) error {
 		}
 		wg.Wait()
 		for _, err := range errs {
-			if err != nil {
+			// A degraded uplink is telemetry loss, not a dead city: the
+			// client already counted the drop; the run carries on.
+			if err != nil && !errors.Is(err, collector.ErrUplinkDegraded) {
 				return err
 			}
 		}
 	}
 	// Flush reports still coalescing in the uplink batches.
 	for i, c := range clients {
-		if err := c.Flush(); err != nil {
+		if err := c.Flush(); err != nil && !errors.Is(err, collector.ErrUplinkDegraded) {
 			return fmt.Errorf("city: reader %d uplink flush: %w", s.posts[i].rd.ID, err)
 		}
 	}
@@ -603,7 +670,7 @@ func (s *Sim) runLockstep(clients []*collector.Client, epochs int) error {
 // and real devices, each reader consumes its private RNG stream in
 // epoch order against frozen snapshots, and the store keys ingest by
 // (ReaderID, Seq).
-func (s *Sim) runPipelined(clients []*collector.Client, epochs int) error {
+func (s *Sim) runPipelined(cr *chaosRun, clients []*collector.Client, epochs int) error {
 	steps := int(s.cfg.Epoch / s.cfg.Step)
 	depth := s.cfg.Pipeline
 	n := len(s.posts)
@@ -642,12 +709,19 @@ func (s *Sim) runPipelined(clients []*collector.Client, epochs int) error {
 			p, up := s.posts[i], clients[i]
 			for rep := range sendq[i] {
 				if err := s.uplink(p, up, rep); err != nil {
+					// Degraded ≠ dead: the client counted the loss and
+					// keeps accepting (and dropping) sends; the reader
+					// keeps measuring. Only a real protocol error — a
+					// legacy client with no Redial — aborts the run.
+					if errors.Is(err, collector.ErrUplinkDegraded) {
+						continue
+					}
 					sendErrs[i] = err
 					cancel()
 					return
 				}
 			}
-			if err := up.Flush(); err != nil {
+			if err := up.Flush(); err != nil && !errors.Is(err, collector.ErrUplinkDegraded) {
 				sendErrs[i] = fmt.Errorf("city: reader %d uplink flush: %w", p.rd.ID, err)
 				cancel()
 			}
@@ -662,9 +736,13 @@ coordinate:
 			s.step(s.cfg.Step)
 		}
 		now += s.cfg.Epoch
-		claims := s.claim()
+		active := cr.activeMask(s.posts, e)
+		claims := s.claimMask(active)
 		job := epochJob{epoch: e, stamp: baseTime.Add(now), decode: s.decodeAt(e)}
 		for i := range s.posts {
+			if active != nil && !active[i] {
+				continue // churned out: the reader simply gets no job
+			}
 			j := job
 			j.devs, coordErr = s.snapshot(s.posts[i], claims[i])
 			if coordErr != nil {
@@ -733,7 +811,21 @@ func (s *Sim) measureEpoch(p *post, job epochJob) (*telemetry.Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("city: reader %d: %w", p.rd.ID, err)
 	}
-	rep := p.rd.Report(res, job.stamp)
+	stamp := job.stamp
+	if p.clk != nil {
+		// A drifting reader stamps reports with its local clock — the
+		// error the cross-reader speed service actually inherits (§7).
+		// Periodic NTP resyncs slew it back to tens-of-ms accuracy;
+		// both consume only this reader's private streams in its own
+		// epoch order, so lockstep and pipelined runs drift identically.
+		if k := s.cfg.Chaos.ResyncEvery; k > 0 && job.epoch > 0 && job.epoch%k == 0 {
+			if _, err := clock.Sync(p.clk, job.stamp, clock.DefaultSyncParams(), p.syncRNG); err != nil {
+				return nil, fmt.Errorf("city: reader %d clock sync: %w", p.rd.ID, err)
+			}
+		}
+		stamp = p.clk.Now(job.stamp)
+	}
+	rep := p.rd.Report(res, stamp)
 	if job.decode && len(job.devs) > 0 {
 		var freqs []float64
 		for _, sp := range res.Spikes {

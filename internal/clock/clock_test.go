@@ -58,6 +58,52 @@ func TestSyncConvergesToTensOfMs(t *testing.T) {
 	}
 }
 
+// TestSyncBoundsDriftingClock: periodic resync must hold a drifting
+// clock near true time for the whole run, while the same clock left
+// free-running walks off — the drift-correction contract the chaos
+// harness (internal/city) relies on for its speed-pair timestamps.
+func TestSyncBoundsDriftingClock(t *testing.T) {
+	const (
+		driftPPM = 2000 // a badly broken oscillator
+		total    = 200 * time.Second
+		interval = 10 * time.Second
+	)
+	rng := rand.New(rand.NewSource(7))
+	synced := New(30*time.Millisecond, driftPPM, epoch)
+	free := New(30*time.Millisecond, driftPPM, epoch)
+	var worstSynced time.Duration
+	for at := interval; at <= total; at += interval {
+		now := epoch.Add(at)
+		if _, err := Sync(synced, now, DefaultSyncParams(), rng); err != nil {
+			t.Fatal(err)
+		}
+		resid := synced.Offset(now)
+		if resid < 0 {
+			resid = -resid
+		}
+		if resid > worstSynced {
+			worstSynced = resid
+		}
+	}
+	end := epoch.Add(total)
+	freeOff := free.Offset(end)
+	if freeOff < 0 {
+		freeOff = -freeOff
+	}
+	// 2000 ppm over 200 s accumulates 400 ms; the synced clock must
+	// never exceed its per-interval drift (20 ms) plus the tens-of-ms
+	// NTP residual (§6).
+	if freeOff < 300*time.Millisecond {
+		t.Fatalf("free-running clock only drifted %v — the scenario is vacuous", freeOff)
+	}
+	if worstSynced > 80*time.Millisecond {
+		t.Errorf("worst synced offset %v; resync every %v should bound it to tens of ms", worstSynced, interval)
+	}
+	if worstSynced*3 >= freeOff {
+		t.Errorf("syncing barely helped: worst %v vs free-running %v", worstSynced, freeOff)
+	}
+}
+
 func TestSyncRejectsBadParams(t *testing.T) {
 	c := New(0, 0, epoch)
 	if _, err := Sync(c, epoch, SyncParams{}, rand.New(rand.NewSource(2))); err == nil {

@@ -1,6 +1,8 @@
 package clock
 
 import (
+	"encoding/binary"
+	"net"
 	"testing"
 	"time"
 )
@@ -53,6 +55,71 @@ func TestSyncOverUDPRepeatedConvergence(t *testing.T) {
 	}
 	if resid > 10*time.Millisecond {
 		t.Errorf("residual %v after three syncs", resid)
+	}
+}
+
+// TestSyncOverUDPPacketLoss: a lossy network eats the first exchanges
+// whole — the request (or reply) never arrives. Each lost exchange
+// must surface as a timeout error without corrupting the clock, and a
+// plain retry loop must converge once a reply gets through.
+func TestSyncOverUDPPacketLoss(t *testing.T) {
+	ua, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	const dropFirst = 2
+	go func() {
+		buf := make([]byte, 64)
+		for seen := 0; ; seen++ {
+			n, peer, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			if seen < dropFirst || n < 8 {
+				continue // the network ate it
+			}
+			now := time.Now()
+			resp := make([]byte, 24)
+			copy(resp[:8], buf[:8])
+			binary.LittleEndian.PutUint64(resp[8:16], uint64(now.UnixNano()))
+			binary.LittleEndian.PutUint64(resp[16:24], uint64(time.Now().UnixNano()))
+			if _, err := conn.WriteToUDP(resp, peer); err != nil {
+				return
+			}
+		}
+	}()
+
+	c := New(300*time.Millisecond, 0, time.Now())
+	failures := 0
+	for {
+		_, err := SyncOverUDP(c, conn.LocalAddr().String(), time.Now, 200*time.Millisecond)
+		if err == nil {
+			break
+		}
+		failures++
+		// A lost exchange must leave the clock exactly as it was: no
+		// partial adjustment from a request that got no reply.
+		if off := c.Offset(time.Now()); off < 295*time.Millisecond || off > 305*time.Millisecond {
+			t.Fatalf("failed sync moved the clock: offset %v", off)
+		}
+		if failures > 5 {
+			t.Fatal("sync never recovered after packet loss")
+		}
+	}
+	if failures != dropFirst {
+		t.Errorf("%d failed exchanges, want exactly the %d dropped ones", failures, dropFirst)
+	}
+	resid := c.Offset(time.Now())
+	if resid < 0 {
+		resid = -resid
+	}
+	if resid > 10*time.Millisecond {
+		t.Errorf("residual offset %v after the surviving exchange", resid)
 	}
 }
 

@@ -12,18 +12,33 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"time"
 
 	"caraoke/internal/telemetry"
 )
 
+// DefaultIdleTimeout is the read-side idle deadline NewServer arms on
+// each connection: a reader that has not delivered a frame for this
+// long is presumed gone and its connection is reaped. Generous next to
+// any sane uplink cadence, but finite — a half-open connection (reader
+// killed without a FIN ever reaching us) would otherwise pin its serve
+// goroutine and socket forever.
+const DefaultIdleTimeout = 2 * time.Minute
+
 // Server is the TCP ingest front end.
 type Server struct {
 	Store *Store
 	// Logf, if set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
+	// IdleTimeout bounds the wait for the next frame on a connection;
+	// an idle connection is closed. NewServer sets DefaultIdleTimeout;
+	// ≤ 0 disables the deadline (a half-open peer then pins its
+	// goroutine until Stop).
+	IdleTimeout time.Duration
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -32,7 +47,7 @@ type Server struct {
 
 // NewServer creates a server around a store.
 func NewServer(store *Store) *Server {
-	return &Server{Store: store}
+	return &Server{Store: store, IdleTimeout: DefaultIdleTimeout}
 }
 
 // Start listens on addr (e.g. "127.0.0.1:0") and serves until Stop.
@@ -124,10 +139,19 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 		conn.Close() // unblock reads on shutdown
 	}()
 	for {
+		if s.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+				return
+			}
+		}
 		rs, err := telemetry.ReadBatch(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && ctx.Err() == nil {
-				s.logf("collector: %v: %v", conn.RemoteAddr(), err)
+				if os.IsTimeout(err) {
+					s.logf("collector: %v: closing idle connection (%v without a frame)", conn.RemoteAddr(), s.IdleTimeout)
+				} else {
+					s.logf("collector: %v: %v", conn.RemoteAddr(), err)
+				}
 			}
 			return
 		}
@@ -152,18 +176,83 @@ func (s *Server) Stop() {
 // forever.
 const DefaultWriteTimeout = 10 * time.Second
 
+// Reconnect defaults: a send that fails gets this many redial-and-
+// rewrite attempts, spaced by jittered exponential backoff, before the
+// client degrades and starts dropping.
+const (
+	DefaultRetryAttempts = 6
+	DefaultBackoffMin    = 10 * time.Millisecond
+	DefaultBackoffMax    = time.Second
+)
+
+// ErrUplinkDegraded marks a client past its retry budget: the failed
+// reports were counted as dropped (Stats().Dropped) and every further
+// send is dropped immediately. Callers that want to survive a dead
+// collector treat it as telemetry loss, not a fatal error.
+var ErrUplinkDegraded = errors.New("collector: uplink degraded past retry budget")
+
+// RetryPolicy shapes a client's reconnect behavior after a failed
+// frame write. Zero fields take the Default* constants.
+type RetryPolicy struct {
+	// Attempts is the redial budget per failed send.
+	Attempts int
+	// BackoffMin is the first retry delay; each further attempt
+	// doubles it up to BackoffMax, and every delay is jittered to
+	// ±50% so a city of readers losing one collector does not redial
+	// in lockstep.
+	BackoffMin, BackoffMax time.Duration
+}
+
+// ClientStats counts a client's delivery outcomes in reports (not
+// frames). Read it after the sending goroutine is done; like the send
+// methods themselves, it is not synchronized.
+type ClientStats struct {
+	// Delivered counts reports in frames whose write succeeded. (A
+	// fault-injected silent drop still counts — a fire-and-forget
+	// uplink cannot tell; the store's delivery barrier is what
+	// accounts true loss.)
+	Delivered int
+	// Redelivered counts reports rewritten after a send error — the
+	// at-least-once duplicates the store dedupes when the first copy
+	// made it out before the error.
+	Redelivered int
+	// Reconnects counts successful redials.
+	Reconnects int
+	// Dropped counts reports abandoned: sends past the retry budget,
+	// and reports still queued at Close.
+	Dropped int
+}
+
 // Client is a reader-side uplink connection. It can send reports one
 // frame each (Send) or coalesce several into one batch frame (Queue +
 // Flush, or SendBatch) — the batching path a duty-cycled reader uses to
 // pay one frame per uplink burst instead of one per report.
+//
+// With Redial set the client is an at-least-once sender: a failed
+// frame write reconnects with jittered exponential backoff and
+// rewrites the frame, so a report is only lost if the retry budget
+// runs out (counted in Stats().Dropped) — or if the network swallowed
+// a frame whose write "succeeded", which no ack-free protocol can see;
+// the store's (ReaderID, Seq) dedupe makes the redelivery side of this
+// idempotent. A client belongs to one goroutine; nothing here is
+// synchronized.
 type Client struct {
 	conn net.Conn
 	// WriteTimeout bounds each frame write; a deadline exceeded error
 	// fails the send. ≤ 0 disables the deadline. Dial sets
 	// DefaultWriteTimeout.
 	WriteTimeout time.Duration
+	// Redial, if set, reopens the uplink after a failed write (and
+	// enables the retry path). DialFunc sets it to its own dialer.
+	Redial func() (net.Conn, error)
+	// Retry shapes the reconnect loop; zero fields take defaults.
+	Retry RetryPolicy
+	// jitter randomizes backoff; defaults to the global source.
+	jitter *rand.Rand
 
-	pending []*telemetry.Report
+	pending  []*telemetry.Report
+	stats    ClientStats
+	degraded bool
 }
 
 // Dial connects to a collector.
@@ -175,6 +264,25 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	return &Client{conn: conn, WriteTimeout: DefaultWriteTimeout}, nil
 }
 
+// DialFunc connects through the given dialer and keeps it as the
+// client's Redial hook — the robust-uplink constructor. The fault-
+// injection harness passes a fault-wrapping dialer here; production
+// readers pass a plain one.
+func DialFunc(dial func() (net.Conn, error)) (*Client, error) {
+	conn, err := dial()
+	if err != nil {
+		return nil, fmt.Errorf("collector: dial: %w", err)
+	}
+	return &Client{conn: conn, WriteTimeout: DefaultWriteTimeout, Redial: dial}, nil
+}
+
+// Stats returns a snapshot of the client's delivery counters.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+// Degraded reports whether the client has exhausted a retry budget and
+// is now dropping every send.
+func (c *Client) Degraded() bool { return c.degraded }
+
 // armDeadline applies the write deadline for one frame write.
 func (c *Client) armDeadline() error {
 	if c.WriteTimeout <= 0 {
@@ -185,10 +293,7 @@ func (c *Client) armDeadline() error {
 
 // Send uploads one report as a single-report frame.
 func (c *Client) Send(r *telemetry.Report) error {
-	if err := c.armDeadline(); err != nil {
-		return fmt.Errorf("collector: send: %w", err)
-	}
-	return telemetry.WriteFrame(c.conn, r)
+	return c.deliver([]*telemetry.Report{r}, true)
 }
 
 // SendBatch uploads a batch of reports as one version-2 frame.
@@ -196,10 +301,88 @@ func (c *Client) SendBatch(rs []*telemetry.Report) error {
 	if len(rs) == 0 {
 		return nil
 	}
-	if err := c.armDeadline(); err != nil {
-		return fmt.Errorf("collector: send: %w", err)
+	return c.deliver(rs, false)
+}
+
+// deliver writes one frame carrying rs, retrying through Redial per
+// the retry policy. Without Redial it preserves the legacy contract:
+// the first error is returned and recovery belongs to the caller.
+func (c *Client) deliver(rs []*telemetry.Report, single bool) error {
+	if c.degraded {
+		c.stats.Dropped += len(rs)
+		return ErrUplinkDegraded
 	}
-	return telemetry.WriteBatch(c.conn, rs)
+	write := func() error {
+		if err := c.armDeadline(); err != nil {
+			return fmt.Errorf("collector: send: %w", err)
+		}
+		if single {
+			return telemetry.WriteFrame(c.conn, rs[0])
+		}
+		return telemetry.WriteBatch(c.conn, rs)
+	}
+	err := write()
+	if err == nil {
+		c.stats.Delivered += len(rs)
+		return nil
+	}
+	if c.Redial == nil {
+		return err
+	}
+	attempts := c.Retry.Attempts
+	if attempts <= 0 {
+		attempts = DefaultRetryAttempts
+	}
+	backoff := c.Retry.BackoffMin
+	if backoff <= 0 {
+		backoff = DefaultBackoffMin
+	}
+	maxBackoff := c.Retry.BackoffMax
+	if maxBackoff <= 0 {
+		maxBackoff = DefaultBackoffMax
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		time.Sleep(c.jittered(backoff))
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		conn, derr := c.Redial()
+		if derr != nil {
+			continue
+		}
+		// Release the failed conn. (A fault-injected kill leaves the
+		// far side half-open regardless — that is the injector's job —
+		// but real dead conns must not leak.)
+		c.conn.Close()
+		c.conn = conn
+		c.stats.Reconnects++
+		if err = write(); err == nil {
+			c.stats.Delivered += len(rs)
+			c.stats.Redelivered += len(rs)
+			return nil
+		}
+	}
+	c.degraded = true
+	c.stats.Dropped += len(rs)
+	return fmt.Errorf("%w (after %d reconnect attempts, last error: %v)", ErrUplinkDegraded, attempts, err)
+}
+
+// jittered spreads a backoff delay uniformly over [d/2, 3d/2).
+func (c *Client) jittered(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	half := int64(d) / 2
+	if half <= 0 {
+		return d
+	}
+	var j int64
+	if c.jitter != nil {
+		j = c.jitter.Int63n(2 * half)
+	} else {
+		j = rand.Int63n(2 * half)
+	}
+	return time.Duration(half + j)
 }
 
 // Queue buffers a report for the next Flush. Queue and Flush are not
@@ -212,12 +395,17 @@ func (c *Client) Queue(r *telemetry.Report) {
 func (c *Client) Pending() int { return len(c.pending) }
 
 // Flush sends every queued report in one batch frame and empties the
-// queue. On error the queue is preserved for a retry after reconnect.
+// queue. On a retryable path the client already reconnected and
+// redelivered internally; if it degraded instead, the queue is counted
+// as dropped and cleared, and ErrUplinkDegraded comes back. Only a
+// non-degraded error (no Redial configured) preserves the queue for a
+// caller-driven retry after reconnect.
 func (c *Client) Flush() error {
 	if len(c.pending) == 0 {
 		return nil
 	}
-	if err := c.SendBatch(c.pending); err != nil {
+	err := c.deliver(c.pending, false)
+	if err != nil && !errors.Is(err, ErrUplinkDegraded) {
 		return err
 	}
 	// A bare re-slice would keep every flushed *Report pinned in the
@@ -227,8 +415,19 @@ func (c *Client) Flush() error {
 	// dead reports (spikes, channel estimates and all) forever.
 	clear(c.pending)
 	c.pending = c.pending[:0]
-	return nil
+	return err
 }
 
-// Close closes the uplink. Queued, unflushed reports are dropped.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the uplink. Contract: Close never blocks on the
+// network, so reports still queued (Queue without a Flush) are NOT
+// sent — they are dropped, and the drop is recorded in
+// Stats().Dropped. Callers that need the queue delivered must Flush
+// first and check its error.
+func (c *Client) Close() error {
+	if n := len(c.pending); n > 0 {
+		c.stats.Dropped += n
+		clear(c.pending)
+		c.pending = c.pending[:0]
+	}
+	return c.conn.Close()
+}

@@ -126,7 +126,10 @@ func TestShardedStoreConcurrent(t *testing.T) {
 			for i := 0; i < perWriter; i++ {
 				r := shardReport(uint32((w*perWriter+i)%readerIDs)+1, i)
 				if i%10 == 0 {
-					s.AddBatch([]*telemetry.Report{r, shardReport(r.ReaderID, i)})
+					// The batch companion takes a seq in a disjoint range:
+					// the store dedupes repeated (reader, seq) pairs, and
+					// this test stresses concurrency, not redelivery.
+					s.AddBatch([]*telemetry.Report{r, shardReport(r.ReaderID, i+perWriter)})
 					i++ // AddBatch ingested two
 				} else {
 					s.Add(r)

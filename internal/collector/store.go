@@ -37,9 +37,10 @@ type Store struct {
 	keep   int
 
 	// ingestMu guards the run-barrier state: the ingest counter, the
-	// per-reader sequence high-water marks, and the condition the Wait*
-	// barriers sleep on. Kept apart from the shard locks so a waiter
-	// never blocks writers on unrelated shards.
+	// per-reader sequence high-water marks, the (ReaderID, Seq) dedupe
+	// sets, and the condition the Wait* barriers sleep on. Kept apart
+	// from the shard locks so a waiter never blocks writers on
+	// unrelated shards.
 	ingestMu sync.Mutex
 	ingestCv *sync.Cond
 	ingested int
@@ -49,6 +50,19 @@ type Store struct {
 	// stamps its own monotone sequence.
 	high    map[uint32]uint32
 	waiters int
+	// seen[reader] is the set of sequence numbers ever ingested from
+	// that reader — the dedupe key that makes at-least-once redelivery
+	// idempotent. Seq 0 marks pre-sequencing senders and bypasses
+	// dedupe (every such report is accepted).
+	seen map[uint32]map[uint32]struct{}
+	// recv[reader] counts distinct reports accepted; copies[reader]
+	// counts every arrival including duplicates; deduped[reader] is
+	// their difference — the duplicates absorbed. recv advances only
+	// after the report is visible in its shard, so a barrier that
+	// returns guarantees the data is queryable.
+	recv    map[uint32]int
+	copies  map[uint32]int
+	deduped map[uint32]int
 
 	// idMu guards the transponder-id → latest-sighting index. Unlike
 	// retained history, the index survives retention trims: a parked
@@ -74,10 +88,14 @@ func NewShardedStore(keep, shards int) *Store {
 		shards = DefaultShards
 	}
 	s := &Store{
-		shards: make([]storeShard, shards),
-		keep:   keep,
-		high:   make(map[uint32]uint32),
-		byID:   make(map[uint64]CarSighting),
+		shards:  make([]storeShard, shards),
+		keep:    keep,
+		high:    make(map[uint32]uint32),
+		byID:    make(map[uint64]CarSighting),
+		seen:    make(map[uint32]map[uint32]struct{}),
+		recv:    make(map[uint32]int),
+		copies:  make(map[uint32]int),
+		deduped: make(map[uint32]int),
 	}
 	for i := range s.shards {
 		s.shards[i].history = make(map[uint32][]*telemetry.Report)
@@ -95,21 +113,80 @@ func (s *Store) shardFor(readerID uint32) *storeShard {
 
 // Add ingests one report.
 func (s *Store) Add(r *telemetry.Report) {
-	s.addToShard(r)
-	s.indexSightings(r)
-	s.noteIngested(r)
+	s.ingest([]*telemetry.Report{r})
 }
 
 // AddBatch ingests a batch, advancing the ingest barrier once. Batches
 // from different readers may arrive in any interleaving — each report
 // is keyed by (ReaderID, Seq), so per-reader history order and the
-// high-water marks come out the same regardless.
+// high-water marks come out the same regardless. A report whose
+// (ReaderID, Seq) was already ingested is dropped and counted in
+// Deduped — redelivered batches from an at-least-once uplink are
+// idempotent.
 func (s *Store) AddBatch(rs []*telemetry.Report) {
-	for _, r := range rs {
+	s.ingest(rs)
+}
+
+// ingest is the shared Add/AddBatch path, in three phases. Phase 1
+// claims each report's (ReaderID, Seq) in the dedupe set under
+// ingestMu, so two connections racing the same redelivered sequence
+// admit exactly one copy. Phase 2 inserts the admitted reports into
+// their shards and the sighting index without holding ingestMu. Phase
+// 3 advances the barrier counters and wakes waiters — only after the
+// shard insert, so a barrier that returns never races a report that is
+// counted but not yet queryable.
+func (s *Store) ingest(rs []*telemetry.Report) {
+	fresh := rs
+	copied := false
+	var dupIDs []uint32
+	s.ingestMu.Lock()
+	for i, r := range rs {
+		dup := false
+		if r.Seq != 0 {
+			set := s.seen[r.ReaderID]
+			if set == nil {
+				set = make(map[uint32]struct{})
+				s.seen[r.ReaderID] = set
+			}
+			if _, dup = set[r.Seq]; !dup {
+				set[r.Seq] = struct{}{}
+			}
+		}
+		if dup {
+			if !copied {
+				// First duplicate: stop aliasing the caller's slice.
+				fresh = append(make([]*telemetry.Report, 0, len(rs)-1), rs[:i]...)
+				copied = true
+			}
+			dupIDs = append(dupIDs, r.ReaderID)
+		} else if copied {
+			fresh = append(fresh, r)
+		}
+	}
+	s.ingestMu.Unlock()
+
+	for _, r := range fresh {
 		s.addToShard(r)
 		s.indexSightings(r)
 	}
-	s.noteIngested(rs...)
+
+	s.ingestMu.Lock()
+	s.ingested += len(fresh)
+	for _, r := range fresh {
+		s.recv[r.ReaderID]++
+		s.copies[r.ReaderID]++
+		if r.Seq > s.high[r.ReaderID] {
+			s.high[r.ReaderID] = r.Seq
+		}
+	}
+	for _, id := range dupIDs {
+		s.copies[id]++
+		s.deduped[id]++
+	}
+	if s.waiters > 0 {
+		s.ingestCv.Broadcast()
+	}
+	s.ingestMu.Unlock()
 }
 
 func (s *Store) addToShard(r *telemetry.Report) {
@@ -164,20 +241,6 @@ func (s *Store) indexSightings(r *telemetry.Report) {
 	}
 }
 
-func (s *Store) noteIngested(rs ...*telemetry.Report) {
-	s.ingestMu.Lock()
-	s.ingested += len(rs)
-	for _, r := range rs {
-		if r.Seq > s.high[r.ReaderID] {
-			s.high[r.ReaderID] = r.Seq
-		}
-	}
-	if s.waiters > 0 {
-		s.ingestCv.Broadcast()
-	}
-	s.ingestMu.Unlock()
-}
-
 // HighWater returns the largest Report.Seq ingested from a reader
 // (zero when none, or when the reader does not stamp sequences).
 func (s *Store) HighWater(readerID uint32) uint32 {
@@ -201,13 +264,83 @@ func (s *Store) TotalReports() int {
 	return n
 }
 
-// Ingested returns the number of reports ever added, independent of
-// retention — the barrier harnesses use to confirm every uplinked
-// report has landed before reading results out.
+// Ingested returns the number of distinct reports ever accepted
+// (duplicates excluded), independent of retention — the barrier
+// harnesses use to confirm every uplinked report has landed before
+// reading results out.
 func (s *Store) Ingested() int {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	return s.ingested
+}
+
+// SeqsReceived returns the number of distinct reports accepted from a
+// reader (its expected-seq set's realized size).
+func (s *Store) SeqsReceived(readerID uint32) int {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	return s.recv[readerID]
+}
+
+// Deduped returns the number of duplicate reports absorbed from a
+// reader — redelivered (ReaderID, Seq) pairs the dedupe key rejected.
+func (s *Store) Deduped(readerID uint32) int {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	return s.deduped[readerID]
+}
+
+// DedupedTotal sums Deduped over all readers.
+func (s *Store) DedupedTotal() int {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	n := 0
+	for _, d := range s.deduped {
+		n += d
+	}
+	return n
+}
+
+// MissingSeqs lists the sequence numbers in [1, max] never received
+// from a reader — the realized loss a chaos run charges against its
+// loss budget.
+func (s *Store) MissingSeqs(readerID uint32, max uint32) []uint32 {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	var missing []uint32
+	set := s.seen[readerID]
+	for seq := uint32(1); seq <= max; seq++ {
+		if _, ok := set[seq]; !ok {
+			missing = append(missing, seq)
+		}
+	}
+	return missing
+}
+
+// waitOn is the shared barrier loop: it sleeps on the ingest condition
+// until reached() (evaluated under ingestMu) holds or the timeout
+// elapses, in which case it returns lagErr(). sync.Cond has no timed
+// wait; an AfterFunc broadcast bounds the sleep and the loop re-checks
+// the deadline on every wake.
+func (s *Store) waitOn(timeout time.Duration, reached func() bool, lagErr func() error) error {
+	deadline := time.Now().Add(timeout)
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	s.waiters++
+	defer func() { s.waiters-- }()
+	timer := time.AfterFunc(timeout, func() {
+		s.ingestMu.Lock()
+		s.ingestCv.Broadcast()
+		s.ingestMu.Unlock()
+	})
+	defer timer.Stop()
+	for !reached() {
+		if !time.Now().Before(deadline) {
+			return lagErr()
+		}
+		s.ingestCv.Wait()
+	}
+	return nil
 }
 
 // WaitIngested blocks until the store has ingested at least want
@@ -216,26 +349,11 @@ func (s *Store) Ingested() int {
 // condition variable, so the waiter wakes the instant the count is
 // reached instead of sleep-polling.
 func (s *Store) WaitIngested(want int, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	s.ingestMu.Lock()
-	defer s.ingestMu.Unlock()
-	s.waiters++
-	defer func() { s.waiters-- }()
-	// sync.Cond has no timed wait; an AfterFunc broadcast bounds the
-	// sleep and the loop re-checks the deadline on every wake.
-	timer := time.AfterFunc(timeout, func() {
-		s.ingestMu.Lock()
-		s.ingestCv.Broadcast()
-		s.ingestMu.Unlock()
-	})
-	defer timer.Stop()
-	for s.ingested < want {
-		if !time.Now().Before(deadline) {
+	return s.waitOn(timeout,
+		func() bool { return s.ingested >= want },
+		func() error {
 			return fmt.Errorf("collector: ingested %d of %d reports before timeout", s.ingested, want)
-		}
-		s.ingestCv.Wait()
-	}
-	return nil
+		})
 }
 
 // WaitHighWater blocks until every reader in want has delivered a
@@ -245,28 +363,21 @@ func (s *Store) WaitIngested(want int, timeout time.Duration) error {
 // masking another's missing uplink, and it is insensitive to the order
 // in which readers' batches interleave on the wire. The error, if any,
 // names each lagging reader and how far it got.
+//
+// WaitHighWater assumes lossless delivery: if any report is lost the
+// mark is never reached and the barrier burns its whole timeout. Runs
+// that inject or tolerate loss use WaitDelivered instead.
 func (s *Store) WaitHighWater(want map[uint32]uint32, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	s.ingestMu.Lock()
-	defer s.ingestMu.Unlock()
-	s.waiters++
-	defer func() { s.waiters-- }()
-	timer := time.AfterFunc(timeout, func() {
-		s.ingestMu.Lock()
-		s.ingestCv.Broadcast()
-		s.ingestMu.Unlock()
-	})
-	defer timer.Stop()
-	reached := func() bool {
-		for id, seq := range want {
-			if s.high[id] < seq {
-				return false
+	return s.waitOn(timeout,
+		func() bool {
+			for id, seq := range want {
+				if s.high[id] < seq {
+					return false
+				}
 			}
-		}
-		return true
-	}
-	for !reached() {
-		if !time.Now().Before(deadline) {
+			return true
+		},
+		func() error {
 			var lag []string
 			for id, seq := range want {
 				if got := s.high[id]; got < seq {
@@ -275,10 +386,72 @@ func (s *Store) WaitHighWater(want map[uint32]uint32, timeout time.Duration) err
 			}
 			sort.Strings(lag)
 			return fmt.Errorf("collector: %d readers behind at timeout: %s", len(lag), strings.Join(lag, "; "))
+		})
+}
+
+// WaitDelivered is the gap-tolerant drain barrier: it blocks until
+// every reader in want has landed at least want[id] − budget[id]
+// distinct reports, or the timeout elapses. want[id] is the size of
+// the reader's expected sequence set (seqs 1..want[id]); budget[id] is
+// its loss allowance — the reports known to have been dropped on the
+// uplink (injected frame loss, a degraded client's give-ups). A lost
+// report thus ends the run with accounted loss instead of a barrier
+// hung until timeout; with an all-zero budget the condition is exactly
+// "every report landed".
+func (s *Store) WaitDelivered(want map[uint32]uint32, budget map[uint32]int, timeout time.Duration) error {
+	need := func(id uint32) int {
+		n := int(want[id]) - budget[id]
+		if n < 0 {
+			n = 0
 		}
-		s.ingestCv.Wait()
+		return n
 	}
-	return nil
+	return s.waitOn(timeout,
+		func() bool {
+			for id := range want {
+				if s.recv[id] < need(id) {
+					return false
+				}
+			}
+			return true
+		},
+		func() error {
+			var lag []string
+			for id := range want {
+				if got := s.recv[id]; got < need(id) {
+					lag = append(lag, fmt.Sprintf("reader %d delivered %d of %d (loss budget %d)",
+						id, got, want[id], budget[id]))
+				}
+			}
+			sort.Strings(lag)
+			return fmt.Errorf("collector: %d readers behind at timeout: %s", len(lag), strings.Join(lag, "; "))
+		})
+}
+
+// WaitCopies blocks until every reader in want has landed at least
+// want[id] report copies — duplicates included. Chaos harnesses use it
+// to let redelivered duplicates settle before reading the dedupe
+// counters, so the counters they assert on are exactly reproducible.
+func (s *Store) WaitCopies(want map[uint32]int, timeout time.Duration) error {
+	return s.waitOn(timeout,
+		func() bool {
+			for id, n := range want {
+				if s.copies[id] < n {
+					return false
+				}
+			}
+			return true
+		},
+		func() error {
+			var lag []string
+			for id, n := range want {
+				if got := s.copies[id]; got < n {
+					lag = append(lag, fmt.Sprintf("reader %d at %d of %d copies", id, got, n))
+				}
+			}
+			sort.Strings(lag)
+			return fmt.Errorf("collector: copies still in flight at timeout: %s", strings.Join(lag, "; "))
+		})
 }
 
 // Latest returns the most recent report from a reader, or nil.

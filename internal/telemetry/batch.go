@@ -121,21 +121,19 @@ func ReadBatch(rd io.Reader) ([]*Report, error) {
 }
 
 // writeFramed writes magic, a version byte, payload length, payload and
-// payload CRC — the framing shared by both protocol versions.
+// payload CRC — the framing shared by both protocol versions. The whole
+// frame goes out in a single Write: one syscall instead of three, and —
+// load-bearing for the fault-injection layer — a frame is atomic at the
+// net.Conn boundary, so an injected drop or kill loses or duplicates
+// whole frames and can never desynchronize the stream mid-frame.
 func writeFramed(w io.Writer, version byte, payload []byte) error {
-	head := make([]byte, 0, 9)
-	head = appendU32(head, Magic)
-	head = append(head, version)
-	head = appendU32(head, uint32(len(payload)))
-	if _, err := w.Write(head); err != nil {
-		return err
-	}
-	if _, err := w.Write(payload); err != nil {
-		return err
-	}
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, castagnoli))
-	_, err := w.Write(crc[:])
+	frame := make([]byte, 0, 9+len(payload)+4)
+	frame = appendU32(frame, Magic)
+	frame = append(frame, version)
+	frame = appendU32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = appendU32(frame, crc32.Checksum(payload, castagnoli))
+	_, err := w.Write(frame)
 	return err
 }
 

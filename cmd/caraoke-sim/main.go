@@ -15,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"caraoke/internal/city"
@@ -45,7 +47,34 @@ func main() {
 	churn := flag.Float64("churn", 0.1, "with -chaos: per-reader-epoch probability of going offline for a span (parked-car RSU churn)")
 	driftPPM := flag.Float64("drift-ppm", 50, "with -chaos: per-reader clock drift bound, parts per million")
 	resyncEvery := flag.Int("resync-every", 10, "with -chaos: NTP-style clock resync every k-th epoch (0 never)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (any scenario; profiling does not affect results)")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after GC) to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	cfg := city.Config{
 		Readers:        *readers,

@@ -47,31 +47,36 @@ func decodeAllWorkers(src CaptureSource, sampleRate float64, targetFreqs []float
 	out := make(map[float64]DecodeResult, len(targetFreqs))
 	remaining := len(targetFreqs)
 	results := make([]outcome, len(targetFreqs))
+	// One closure for the whole run: the per-query capture flows in via
+	// the captured variable, so the query loop allocates nothing.
+	var capture []complex128
+	combine := func(i int) {
+		results[i] = outcome{}
+		dec := decs[i]
+		if dec == nil {
+			return
+		}
+		if err := dec.Add(capture); err != nil {
+			// This target's spike vanished (e.g. the car left);
+			// keep the others going.
+			return
+		}
+		f, err := dec.TryDecode()
+		if err == nil {
+			results[i].frame = f
+			return
+		}
+		if !errors.Is(err, ErrNeedMoreCollisions) {
+			results[i].err = err
+		}
+	}
 	for q := 0; q < maxQueries && remaining > 0; q++ {
-		capture, err := src()
+		var err error
+		capture, err = src()
 		if err != nil {
 			return nil, fmt.Errorf("core: query %d: %w", q, err)
 		}
-		parallelFor(len(decs), workers, func(i int) {
-			results[i] = outcome{}
-			dec := decs[i]
-			if dec == nil {
-				return
-			}
-			if err := dec.Add(capture); err != nil {
-				// This target's spike vanished (e.g. the car left);
-				// keep the others going.
-				return
-			}
-			f, err := dec.TryDecode()
-			if err == nil {
-				results[i].frame = f
-				return
-			}
-			if !errors.Is(err, ErrNeedMoreCollisions) {
-				results[i].err = err
-			}
-		})
+		parallelFor(len(decs), workers, combine)
 		for i, res := range results {
 			if res.err != nil {
 				return nil, res.err

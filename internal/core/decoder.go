@@ -24,10 +24,14 @@ type Decoder struct {
 	target     float64 // refined CFO of the target transponder, Hz
 	sum        []complex128
 	n          int
+	env        []float64        // real-envelope scratch for TryDecode
+	demod      phy.DemodScratch // receive-chain buffers
 }
 
 // ErrNeedMoreCollisions is returned by TryDecode while the accumulated
-// SNR is still too low for the frame to pass its checksum.
+// SNR is still too low for the frame to pass its checksum. It is
+// returned bare (not wrapped): on the hot path a CRC miss happens once
+// per query per in-flight target, and wrapping would allocate.
 var ErrNeedMoreCollisions = errors.New("core: frame not yet decodable, combine more collisions")
 
 // NewDecoder creates a decoder for the transponder whose CFO spike sits
@@ -39,14 +43,28 @@ func NewDecoder(sampleRate, targetFreq float64) *Decoder {
 // N returns how many collision captures have been combined.
 func (d *Decoder) N() int { return d.n }
 
+// Reset re-aims the decoder at a new target CFO, discarding all
+// combined state but keeping the accumulated buffers — the SIC loop
+// decodes many targets through one decoder without re-allocating.
+func (d *Decoder) Reset(targetFreq float64) {
+	d.target = targetFreq
+	d.sum = d.sum[:0]
+	d.n = 0
+}
+
 // Add combines one more collision capture (a single antenna's stream,
 // frame-aligned: the response begins at sample 0).
 func (d *Decoder) Add(capture []complex128) error {
 	if len(capture) == 0 {
 		return fmt.Errorf("core: empty capture")
 	}
-	if d.sum == nil {
-		d.sum = make([]complex128, len(capture))
+	if len(d.sum) == 0 {
+		if cap(d.sum) >= len(capture) {
+			d.sum = d.sum[:len(capture)]
+			clear(d.sum)
+		} else {
+			d.sum = make([]complex128, len(capture))
+		}
 	}
 	if len(capture) != len(d.sum) {
 		return fmt.Errorf("core: capture length %d differs from first capture %d", len(capture), len(d.sum))
@@ -73,26 +91,35 @@ func (d *Decoder) Add(capture []complex128) error {
 }
 
 // TryDecode demodulates the accumulated signal. It returns the frame on
-// checksum success, or ErrNeedMoreCollisions if the residual
-// interference still flips bits.
+// checksum success, or ErrNeedMoreCollisions (bare) if the residual
+// interference still flips bits. The failing steady state — the common
+// case while combining — allocates nothing: the envelope and the whole
+// receive chain run in decoder-owned scratch, and only a successful
+// decode allocates its returned Frame (which the caller therefore owns
+// even if the decoder is Reset and reused).
 func (d *Decoder) TryDecode() (*phy.Frame, error) {
 	if d.n == 0 {
 		return nil, fmt.Errorf("core: no captures combined yet")
 	}
 	// After channel correction the target's contribution is real and
 	// non-negative (its envelope); interference is complex residue.
-	env := make([]float64, len(d.sum))
+	if cap(d.env) < len(d.sum) {
+		d.env = make([]float64, len(d.sum))
+	}
+	env := d.env[:len(d.sum)]
 	for i, s := range d.sum {
 		env[i] = real(s)
 	}
-	f, err := phy.DemodulateFrame(env, d.sampleRate)
+	f, err := d.demod.DemodulateFrame(env, d.sampleRate)
 	if err != nil {
 		if errors.Is(err, phy.ErrBadCRC) || errors.Is(err, phy.ErrBadPreamble) {
-			return nil, fmt.Errorf("%w (after %d collisions): %v", ErrNeedMoreCollisions, d.n, err)
+			return nil, ErrNeedMoreCollisions
 		}
 		return nil, err
 	}
-	return f, nil
+	out := new(phy.Frame)
+	*out = f
+	return out, nil
 }
 
 // CaptureSource yields successive collision captures, one per reader

@@ -29,17 +29,21 @@ import (
 // Channels are taken from the last capture (callers doing AoA on a
 // specific query should use AnalyzeCapture on that capture).
 func AnalyzeCaptures(mcs []*rfsim.MultiCapture, p Params) ([]Spike, error) {
-	return analyzeCapturesWorkers(mcs, p, 1)
+	var sc Scratch
+	return sc.AnalyzeCaptures(mcs, p, 1)
 }
 
-// analyzeCapturesWorkers is the shared implementation behind
+// AnalyzeCaptures is the pooled implementation behind the package-level
 // AnalyzeCaptures and AnalyzeCapturesParallel. The two expensive stages
 // — one FFT per capture and the per-peak refinement/occupancy chain
 // (a few dozen Goertzel filters per peak per capture) — are
 // embarrassingly parallel; everything else stays serial. Per-capture
 // spectra accumulate in capture order and per-peak results merge in
-// peak order, so any worker count produces bit-identical spikes.
-func analyzeCapturesWorkers(mcs []*rfsim.MultiCapture, p Params, workers int) ([]Spike, error) {
+// peak order, so any worker count produces bit-identical spikes. Each
+// worker goroutine runs on its own sub-scratch (DSP plan and buffers),
+// so the pooled path is race-free at any worker count; the result obeys
+// the Scratch ownership contract.
+func (sc *Scratch) AnalyzeCaptures(mcs []*rfsim.MultiCapture, p Params, workers int) ([]Spike, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -47,7 +51,7 @@ func analyzeCapturesWorkers(mcs []*rfsim.MultiCapture, p Params, workers int) ([
 		return nil, fmt.Errorf("core: no captures")
 	}
 	if len(mcs) == 1 {
-		return AnalyzeCapture(mcs[0], p)
+		return sc.AnalyzeCapture(mcs[0], p)
 	}
 	n := 0
 	for i, mc := range mcs {
@@ -60,19 +64,32 @@ func analyzeCapturesWorkers(mcs []*rfsim.MultiCapture, p Params, workers int) ([
 			return nil, fmt.Errorf("core: capture %d length %d differs from %d", i, len(mc.Antennas[0]), n)
 		}
 	}
-	// Root-mean-square magnitude spectrum across queries.
-	specs := make([]*dsp.Spectrum, len(mcs))
-	parallelFor(len(mcs), workers, func(i int) {
-		specs[i] = dsp.NewSpectrum(mcs[i].Antennas[0], p.SampleRate)
+	if workers < 1 {
+		workers = 1
+	}
+	sc.growWorkers(workers)
+	// Root-mean-square magnitude spectrum across queries. Spectrum rows
+	// are index-addressed, so whichever worker's cached plan computes a
+	// row, the bits are the same.
+	for len(sc.specs) < len(mcs) {
+		sc.specs = append(sc.specs, dsp.Spectrum{})
+	}
+	specs := sc.specs[:len(mcs)]
+	parallelForWorkers(len(mcs), workers, func(w, i int) {
+		sc.workers[w].plan.SpectrumInto(&specs[i], mcs[i].Antennas[0], p.SampleRate)
 	})
-	acc := make([]float64, n)
-	for _, spec := range specs {
-		for k, v := range spec.Bins {
+	acc := grow(sc.acc, n)
+	sc.acc = acc
+	clear(acc)
+	for qi := range specs {
+		for k, v := range specs[qi].Bins {
 			re, im := real(v), imag(v)
 			acc[k] += re*re + im*im
 		}
 	}
-	avg := &dsp.Spectrum{Bins: make([]complex128, n), SampleRate: p.SampleRate}
+	sc.avg.SampleRate = p.SampleRate
+	sc.avg.Bins = grow(sc.avg.Bins, n)
+	avg := &sc.avg
 	inv := 1 / float64(len(mcs))
 	for k, pw := range acc {
 		avg.Bins[k] = complex(math.Sqrt(pw*inv), 0)
@@ -88,7 +105,7 @@ func analyzeCapturesWorkers(mcs []*rfsim.MultiCapture, p Params, workers int) ([
 	peakP.Sharpness = 1 // ratio test off; ExcessSigma selects
 	peakP.ExcessSigma = 5
 	peakP.SharpRadius = 16
-	peaks := dsp.FindPeaks(avg, peakP)
+	peaks := sc.plan.FindPeaks(avg, peakP)
 	if p.ClockImageReject {
 		peaks = rejectClockImages(peaks, avg.BinWidth(), p.ClockImageRatio)
 	}
@@ -96,14 +113,23 @@ func analyzeCapturesWorkers(mcs []*rfsim.MultiCapture, p Params, workers int) ([
 	last := mcs[len(mcs)-1]
 	binW := avg.BinWidth()
 	strongest := strongestMag(peaks)
-	results := make([]*Spike, len(peaks))
-	parallelFor(len(peaks), workers, func(pi int) {
+	nAnt := len(last.Antennas)
+	chans := grow(sc.chans, len(peaks)*nAnt)
+	sc.chans = chans
+	results := grow(sc.results, len(peaks))
+	sc.results = results
+	keep := grow(sc.keep, len(peaks))
+	sc.keep = keep
+	parallelForWorkers(len(peaks), workers, func(w, pi int) {
+		ws := &sc.workers[w]
+		keep[pi] = false
 		pk := peaks[pi]
 		// Median refined frequency across captures.
-		freqs := make([]float64, 0, len(mcs))
+		freqs := ws.freqs[:0]
 		for _, mc := range mcs {
 			freqs = append(freqs, dsp.RefineFreq(mc.Antennas[0], p.SampleRate, pk))
 		}
+		ws.freqs = freqs
 		sort.Float64s(freqs)
 		freq := freqs[len(freqs)/2]
 
@@ -111,7 +137,7 @@ func analyzeCapturesWorkers(mcs []*rfsim.MultiCapture, p Params, workers int) ([
 			Freq:     freq,
 			Bin:      pk.Bin,
 			Mag:      pk.Mag,
-			Channels: make([]complex128, len(last.Antennas)),
+			Channels: chans[pi*nAnt : (pi+1)*nAnt : (pi+1)*nAnt],
 		}
 		scale := complex(2/float64(n), 0)
 		for a, stream := range last.Antennas {
@@ -124,7 +150,7 @@ func analyzeCapturesWorkers(mcs []*rfsim.MultiCapture, p Params, workers int) ([
 		// low — hence a 40 % quorum rather than a strict majority.
 		votes := 0
 		for _, mc := range mcs {
-			if dsp.ClassifyBin(mc.Antennas[0], p.SampleRate, freq, p.Occupancy) == dsp.OccupancyMultiple {
+			if ws.plan.ClassifyBin(mc.Antennas[0], p.SampleRate, freq, p.Occupancy) == dsp.OccupancyMultiple {
 				votes++
 			}
 		}
@@ -154,7 +180,7 @@ func analyzeCapturesWorkers(mcs []*rfsim.MultiCapture, p Params, workers int) ([
 				// the local collision floor (max of two Rayleigh draws
 				// ≈ 1.3× the per-bin level); require 2× headroom above
 				// it before declaring a merged companion.
-				local := localFloor(avg, pk.Bin)
+				local := localFloorInto(avg, pk.Bin, &ws.vals)
 				thresh := 0.45
 				if adaptive := 2.6 * local / math.Sqrt(c2/float64(len(mcs))); adaptive > thresh {
 					thresh = adaptive
@@ -177,23 +203,26 @@ func analyzeCapturesWorkers(mcs []*rfsim.MultiCapture, p Params, workers int) ([
 				return
 			}
 		}
-		results[pi] = &s
+		results[pi] = s
+		keep[pi] = true
 	})
-	spikes := make([]Spike, 0, len(peaks))
-	for _, r := range results {
-		if r != nil {
-			spikes = append(spikes, *r)
+	spikes := sc.spikes[:0]
+	for pi := range results {
+		if keep[pi] {
+			spikes = append(spikes, results[pi])
 		}
 	}
 	suppressResolvedNeighbors(spikes, binW, p.Occupancy.WindowFrac)
+	sc.spikes = spikes
 	return spikes, nil
 }
 
-// localFloor estimates the collision floor near bin k as the median
-// magnitude of the bins 3–16 away on each side.
-func localFloor(spec *dsp.Spectrum, k int) float64 {
+// localFloorInto estimates the collision floor near bin k as the median
+// magnitude of the bins 3–16 away on each side, collecting them in the
+// caller's reusable buffer.
+func localFloorInto(spec *dsp.Spectrum, k int, buf *[]float64) float64 {
 	n := len(spec.Bins)
-	var vals []float64
+	vals := (*buf)[:0]
 	for d := 3; d <= 16; d++ {
 		if k-d >= 0 {
 			vals = append(vals, spec.Mag(k-d))
@@ -202,6 +231,7 @@ func localFloor(spec *dsp.Spectrum, k int) float64 {
 			vals = append(vals, spec.Mag(k+d))
 		}
 	}
+	*buf = vals
 	sort.Float64s(vals)
 	if len(vals) == 0 {
 		return 0

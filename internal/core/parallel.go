@@ -15,12 +15,21 @@ import (
 // results into index-addressed slots and merging in index order after
 // the barrier.
 func parallelFor(n, workers int, fn func(i int)) {
+	parallelForWorkers(n, workers, func(_, i int) { fn(i) })
+}
+
+// parallelForWorkers is parallelFor with the worker's identity passed
+// to the body: fn(worker, i) with worker in [0, min(workers, n)).
+// Work-stealing makes the worker→item assignment nondeterministic, so
+// the worker index must only select scratch state whose contents are
+// fully overwritten per item — never influence result values.
+func parallelForWorkers(n, workers int, fn func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -28,16 +37,16 @@ func parallelFor(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -51,7 +60,8 @@ func AnalyzeCapturesParallel(mcs []*rfsim.MultiCapture, p Params, workers int) (
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return analyzeCapturesWorkers(mcs, p, workers)
+	var sc Scratch
+	return sc.AnalyzeCaptures(mcs, p, workers)
 }
 
 // DecodeAllParallel is DecodeAll with the per-target combine/decode

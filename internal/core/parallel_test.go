@@ -145,7 +145,9 @@ func BenchmarkDecodeAll(b *testing.B) {
 
 // BenchmarkAnalyzeCaptures compares the serial multi-query DSP chain
 // (per-capture FFT, then per-peak refinement) with the worker-pool
-// variant used by Reader.Measure in the city harness.
+// variant used by Reader.Measure in the city harness. A persistent
+// Scratch mirrors the reader's steady state: tables and buffers are
+// warm after the first iteration.
 func BenchmarkAnalyzeCaptures(b *testing.B) {
 	s := newTestScene(b, 811)
 	devs := s.placedDevices(24)
@@ -156,8 +158,10 @@ func BenchmarkAnalyzeCaptures(b *testing.B) {
 			name = "serial"
 		}
 		b.Run(name, func(b *testing.B) {
+			var sc Scratch
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := analyzeCapturesWorkers(mcs, s.param, workers); err != nil {
+				if _, err := sc.AnalyzeCaptures(mcs, s.param, workers); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -51,17 +51,39 @@ func CancelTransponder(capture []complex128, frame *phy.Frame, freq, sampleRate 
 	if len(capture) == 0 {
 		return 0, fmt.Errorf("core: empty capture")
 	}
+	env, err := phy.ModulateFrame(frame, sampleRate)
+	if err != nil {
+		return 0, err
+	}
+	return cancelEnvelope(capture, env, freq, sampleRate)
+}
+
+// cancelEnvelope subtracts a transponder's known OOK envelope from a
+// capture in place, estimating its per-capture channel from the spike
+// at freq first. It fuses ReconstructTransmission's synthesis with the
+// subtraction — same phasor recurrence, same renormalization cadence,
+// bit-identical residual — without materializing the reconstruction,
+// and lets the SIC loop modulate each decoded frame once instead of
+// once per capture.
+func cancelEnvelope(capture []complex128, env []float64, freq, sampleRate float64) (complex128, error) {
+	if len(capture) == 0 {
+		return 0, fmt.Errorf("core: empty capture")
+	}
 	spike := dsp.Goertzel(capture, freq/sampleRate)
 	h := spike * complex(2/float64(len(capture)), 0)
 	if cmplx.Abs(h) == 0 {
 		return 0, fmt.Errorf("core: no spike at %g Hz to cancel", freq)
 	}
-	recon, err := ReconstructTransmission(frame, freq, h, sampleRate, len(capture))
-	if err != nil {
-		return 0, err
-	}
+	rot := cmplx.Exp(complex(0, 2*math.Pi*freq/sampleRate))
+	w := complex(1, 0)
 	for i := range capture {
-		capture[i] -= recon[i]
+		if i < len(env) && env[i] != 0 {
+			capture[i] -= h * w
+		}
+		w *= rot
+		if i&1023 == 1023 {
+			w /= complex(cmplx.Abs(w), 0)
+		}
 	}
 	return h, nil
 }
@@ -80,6 +102,16 @@ type SICDecodeResult struct {
 // neighbors are removed. maxRounds bounds the detect→decode→cancel
 // loop; maxQueries bounds the total collisions fetched.
 func DecodeWithSIC(src CaptureSource, p Params, maxRounds, maxQueries int) (SICDecodeResult, error) {
+	var sc Scratch
+	return sc.DecodeWithSIC(src, p, maxRounds, maxQueries)
+}
+
+// DecodeWithSIC is the pooled SIC sweep: spike detection runs through
+// the scratch's buffers, one decoder (Reset between targets) serves
+// every round, and each decoded frame is modulated once and cancelled
+// from all captures via the fused envelope subtraction. Results are
+// identical to the allocating entry point.
+func (sc *Scratch) DecodeWithSIC(src CaptureSource, p Params, maxRounds, maxQueries int) (SICDecodeResult, error) {
 	if err := p.Validate(); err != nil {
 		return SICDecodeResult{}, err
 	}
@@ -96,13 +128,13 @@ func DecodeWithSIC(src CaptureSource, p Params, maxRounds, maxQueries int) (SICD
 		captures = append(captures, c)
 	}
 	res := SICDecodeResult{Decoded: make(map[float64]DecodeResult)}
+	mc := &rfsim.MultiCapture{SampleRate: p.SampleRate, Antennas: [][]complex128{nil}}
+	var dec *Decoder
 	for round := 0; round < maxRounds; round++ {
 		res.Rounds = round + 1
 		// Detect spikes on the (progressively cleaned) first capture.
-		spikes, err := AnalyzeCapture(&rfsim.MultiCapture{
-			SampleRate: p.SampleRate,
-			Antennas:   [][]complex128{captures[0]},
-		}, p)
+		mc.Antennas[0] = captures[0]
+		spikes, err := sc.AnalyzeCapture(mc, p)
 		if err != nil {
 			return res, err
 		}
@@ -120,7 +152,11 @@ func DecodeWithSIC(src CaptureSource, p Params, maxRounds, maxQueries int) (SICD
 		if target == nil {
 			break // every visible spike decoded
 		}
-		dec := NewDecoder(p.SampleRate, target.Freq)
+		if dec == nil {
+			dec = NewDecoder(p.SampleRate, target.Freq)
+		} else {
+			dec.Reset(target.Freq)
+		}
 		var frame *phy.Frame
 		used := 0
 		for _, c := range captures {
@@ -137,9 +173,14 @@ func DecodeWithSIC(src CaptureSource, p Params, maxRounds, maxQueries int) (SICD
 			break // the strongest remaining spike is undecodable; stop
 		}
 		res.Decoded[target.Freq] = DecodeResult{Frame: frame, Queries: used}
-		// Cancel it from every capture.
+		// Cancel it from every capture: modulate the decoded frame once,
+		// subtract its envelope from each.
+		env, err := phy.ModulateFrame(frame, p.SampleRate)
+		if err != nil {
+			return res, err
+		}
 		for _, c := range captures {
-			if _, err := CancelTransponder(c, frame, target.Freq, p.SampleRate); err != nil {
+			if _, err := cancelEnvelope(c, env, target.Freq, p.SampleRate); err != nil {
 				// Spike absent in this capture; nothing to cancel.
 				continue
 			}

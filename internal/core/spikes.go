@@ -26,8 +26,22 @@ type Spike struct {
 // collision capture: peak detection on the reference antenna (element
 // 0), sub-bin frequency refinement, per-antenna channel estimation at
 // the refined frequency, Manchester clock-image rejection, and the
-// dual-window occupancy test.
+// dual-window occupancy test. It runs on a throwaway Scratch, so the
+// returned spikes (and their Channels) are caller-owned; per-worker hot
+// paths hold a Scratch and call its method directly.
 func AnalyzeCapture(mc *rfsim.MultiCapture, p Params) ([]Spike, error) {
+	var sc Scratch
+	return sc.AnalyzeCapture(mc, p)
+}
+
+// AnalyzeCapture is the pooled single-capture analysis. It is
+// bit-identical to the package-level function — the same detection,
+// refinement, channel-estimation, and occupancy arithmetic in the same
+// order — but every intermediate (spectrum, magnitudes, peak
+// neighborhoods, occupancy probes, channel estimates, the spike slice
+// itself) lives in the Scratch. The result is valid until the next
+// call on sc; see the Scratch contract.
+func (sc *Scratch) AnalyzeCapture(mc *rfsim.MultiCapture, p Params) ([]Spike, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -39,39 +53,64 @@ func AnalyzeCapture(mc *rfsim.MultiCapture, p Params) ([]Spike, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty capture")
 	}
-	spec := dsp.NewSpectrum(ref, p.SampleRate)
-	peaks := dsp.FindPeaks(spec, p.Peaks)
-	// Second, relaxed-sharpness sweep: carriers barely above a large
-	// collision's data floor. These candidates must later prove
-	// themselves a tone or a beating pair.
-	tentative := make(map[int]bool)
-	if p.RelaxedSharpness > 0 && p.RelaxedSharpness < p.Peaks.Sharpness {
-		strict := make(map[int]bool, len(peaks))
-		for _, pk := range peaks {
-			strict[pk.Bin] = true
+	// The tentative set survives from the previous call; empty it
+	// without allocating. It is only ever populated by the relaxed
+	// sweep below (a nil map reads as empty).
+	clear(sc.tentative)
+	var peaks []dsp.Peak
+	var binW float64
+	if p.SparseDetect {
+		var err error
+		peaks, binW, err = sc.sparsePeaks(ref, p)
+		if err != nil {
+			return nil, err
 		}
-		relaxed := p.Peaks
-		relaxed.Sharpness = p.RelaxedSharpness
-		all := dsp.FindPeaks(spec, relaxed)
-		for _, pk := range all {
-			if !strict[pk.Bin] {
-				tentative[pk.Bin] = true
+	} else {
+		sc.plan.SpectrumInto(&sc.spec, ref, p.SampleRate)
+		spec := &sc.spec
+		binW = spec.BinWidth()
+		peaks = sc.plan.FindPeaks(spec, p.Peaks)
+		// Second, relaxed-sharpness sweep: carriers barely above a large
+		// collision's data floor. These candidates must later prove
+		// themselves a tone or a beating pair.
+		if p.RelaxedSharpness > 0 && p.RelaxedSharpness < p.Peaks.Sharpness {
+			// Record the strict winners first: the relaxed sweep reuses
+			// the plan's peak buffer.
+			if sc.strict == nil {
+				sc.strict = make(map[int]bool, len(peaks))
 			}
+			clear(sc.strict)
+			for _, pk := range peaks {
+				sc.strict[pk.Bin] = true
+			}
+			relaxed := p.Peaks
+			relaxed.Sharpness = p.RelaxedSharpness
+			all := sc.plan.FindPeaks(spec, relaxed)
+			for _, pk := range all {
+				if !sc.strict[pk.Bin] {
+					if sc.tentative == nil {
+						sc.tentative = make(map[int]bool)
+					}
+					sc.tentative[pk.Bin] = true
+				}
+			}
+			peaks = all
 		}
-		peaks = all
 	}
 	if p.ClockImageReject {
-		peaks = rejectClockImages(peaks, spec.BinWidth(), p.ClockImageRatio)
+		peaks = rejectClockImages(peaks, binW, p.ClockImageRatio)
 	}
-	spikes := make([]Spike, 0, len(peaks))
-	binW := spec.BinWidth()
-	for _, pk := range peaks {
+	nAnt := len(mc.Antennas)
+	chans := grow(sc.chans, len(peaks)*nAnt)
+	sc.chans = chans
+	spikes := sc.spikes[:0]
+	for pi, pk := range peaks {
 		freq := dsp.RefineFreq(ref, p.SampleRate, pk)
 		s := Spike{
 			Freq:     freq,
 			Bin:      pk.Bin,
 			Mag:      pk.Mag,
-			Channels: make([]complex128, len(mc.Antennas)),
+			Channels: chans[pi*nAnt : (pi+1)*nAnt : (pi+1)*nAnt],
 		}
 		// ĥ = 2·R(Δf)/N: the spike value is half the channel times the
 		// capture length (Manchester's 0.5-mean envelope).
@@ -82,8 +121,8 @@ func AnalyzeCapture(mc *rfsim.MultiCapture, p Params) ([]Spike, error) {
 		// The occupancy test self-calibrates its tolerances from the
 		// capture so other transponders' data does not masquerade as a
 		// same-bin collision.
-		s.Multiple = dsp.ClassifyBin(ref, p.SampleRate, freq, p.Occupancy) == dsp.OccupancyMultiple
-		if tentative[pk.Bin] && !s.Multiple && p.PurityMin > 0 {
+		s.Multiple = sc.plan.ClassifyBin(ref, p.SampleRate, freq, p.Occupancy) == dsp.OccupancyMultiple
+		if sc.tentative[pk.Bin] && !s.Multiple && p.PurityMin > 0 {
 			if purity(ref, p.SampleRate, freq, binW) < p.PurityMin {
 				continue // neither tone-like nor a beating pair
 			}
@@ -94,7 +133,36 @@ func AnalyzeCapture(mc *rfsim.MultiCapture, p Params) ([]Spike, error) {
 		spikes = rejectImpureGhosts(ref, p, binW, spikes)
 	}
 	suppressResolvedNeighbors(spikes, binW, p.Occupancy.WindowFrac)
+	sc.spikes = spikes
 	return spikes, nil
+}
+
+// sparsePeaks runs the sparse-FFT ablation path: detect candidate
+// spikes via bucket aliasing (sub-linear in the capture length) instead
+// of the dense FFT, then synthesize dsp.Peak values at the nearest fine
+// bins so the rest of the pipeline — refinement, channels, occupancy —
+// is shared with the dense path. Gated behind Params.SparseDetect;
+// see BENCH_8.json for the ablation that keeps it off by default.
+func (sc *Scratch) sparsePeaks(ref []complex128, p Params) ([]dsp.Peak, float64, error) {
+	tones, err := dsp.SparseFFT(ref, p.SampleRate, p.Sparse)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := len(ref)
+	binW := p.SampleRate / float64(n)
+	peaks := sc.sparsePk[:0]
+	for _, t := range tones {
+		if p.Peaks.MaxFreq > 0 && t.Freq > p.Peaks.MaxFreq {
+			continue
+		}
+		bin := int(math.Round(t.Freq / binW))
+		if bin < 0 || bin >= n {
+			continue
+		}
+		peaks = append(peaks, dsp.Peak{Bin: bin, Freq: float64(bin) * binW, Val: t.Amp, Mag: cmplx.Abs(t.Amp)})
+	}
+	sc.sparsePk = peaks
+	return peaks, binW, nil
 }
 
 // suppressResolvedNeighbors clears the Multiple flag of spikes whose

@@ -98,9 +98,18 @@ func (p *OccupancyParams) setDefaults() {
 // residuals to exceed KCons·W/m₀ before declaring the bin
 // multi-occupied.
 func ClassifyBin(samples []complex128, sampleRate, freqHz float64, p OccupancyParams) Occupancy {
+	occ, _ := classifyBin(samples, sampleRate, freqHz, p, nil)
+	return occ
+}
+
+// classifyBin is the shared implementation behind ClassifyBin and
+// Plan.ClassifyBin. refs is the (possibly nil) reusable buffer for the
+// self-calibration probes; the grown buffer is returned so pooled
+// callers can retain it.
+func classifyBin(samples []complex128, sampleRate, freqHz float64, p OccupancyParams, refs []float64) (Occupancy, []float64) {
 	n := len(samples)
 	if n == 0 {
-		return OccupancySingle
+		return OccupancySingle, refs
 	}
 	p.setDefaults()
 	winLen := int(float64(n) * p.WindowFrac)
@@ -116,7 +125,7 @@ func ClassifyBin(samples []complex128, sampleRate, freqHz float64, p OccupancyPa
 			start = n - winLen
 		}
 		if start <= 0 {
-			return OccupancySingle
+			return OccupancySingle, refs
 		}
 		starts[i+1] = start
 	}
@@ -128,16 +137,15 @@ func ClassifyBin(samples []complex128, sampleRate, freqHz float64, p OccupancyPa
 		m[i] = cmplx.Abs(r[i])
 	}
 	if m[0] == 0 {
-		return OccupancySingle
+		return OccupancySingle, refs
 	}
 
 	// Self-calibrated interference floor: same windows, at frequencies
 	// ±k window-bins away (k = 2, 3, 4, 5), where the probe tone's
 	// window DFT is zero.
 	winBin := sampleRate / float64(winLen)
-	var refs []float64
-	for _, k := range []float64{2, 3, 4, 5} {
-		for _, sign := range []float64{-1, 1} {
+	for _, k := range [...]float64{2, 3, 4, 5} {
+		for _, sign := range [...]float64{-1, 1} {
 			rf := (freqHz + sign*k*winBin) / sampleRate
 			if rf <= 0 || rf >= 1 {
 				continue
@@ -155,7 +163,7 @@ func ClassifyBin(samples []complex128, sampleRate, freqHz float64, p OccupancyPa
 	}
 	for i := 1; i < 3; i++ {
 		if math.Abs(m[i]-m[0]) > magGate {
-			return OccupancyMultiple
+			return OccupancyMultiple, refs
 		}
 	}
 
@@ -172,7 +180,7 @@ func ClassifyBin(samples []complex128, sampleRate, freqHz float64, p OccupancyPa
 		rho[i-1] = r[i] / r[0] * expected
 	}
 	if cmplx.Abs(rho[1]-rho[0]*rho[0]) > consGate {
-		return OccupancyMultiple
+		return OccupancyMultiple, refs
 	}
-	return OccupancySingle
+	return OccupancySingle, refs
 }

@@ -147,106 +147,18 @@ func DefaultPeakParams() PeakParams {
 
 // FindPeaks locates one-bin-wide local maxima that stand above both the
 // global noise floor and their local neighborhood, returning them in
-// increasing bin order.
+// increasing bin order. It is a thin allocating wrapper over
+// Plan.FindPeaks — the pooled variant per-worker hot paths use — and
+// returns a caller-owned copy of the peaks.
 func FindPeaks(s *Spectrum, p PeakParams) []Peak {
-	n := len(s.Bins)
-	if n == 0 {
+	var pl Plan
+	peaks := pl.FindPeaks(s, p)
+	if len(peaks) == 0 {
 		return nil
 	}
-	if p.Threshold <= 0 {
-		p.Threshold = 4
-	}
-	if p.MinSeparation <= 0 {
-		p.MinSeparation = 1
-	}
-	if p.Sharpness <= 0 {
-		p.Sharpness = 4
-	}
-	if p.SharpGuard <= 0 {
-		p.SharpGuard = 2
-	}
-	if p.SharpRadius <= p.SharpGuard {
-		p.SharpRadius = p.SharpGuard + 6
-	}
-	limit := n
-	if p.MaxFreq > 0 {
-		limit = int(p.MaxFreq/s.BinWidth()) + 1
-		if limit > n {
-			limit = n
-		}
-	}
-	floor := s.NoiseFloor()
-	cut := floor * p.Threshold
-	var peaks []Peak
-	neighborhood := make([]float64, 0, 2*(p.SharpRadius-p.SharpGuard+1))
-	for k := 0; k < limit; k++ {
-		m := s.Mag(k)
-		if m <= cut {
-			continue
-		}
-		// Local maximum within the separation radius (cyclic edges are
-		// not wrapped: the band of interest sits well inside the
-		// spectrum).
-		isMax := true
-		for d := 1; d <= p.MinSeparation && isMax; d++ {
-			if k-d >= 0 && s.Mag(k-d) > m {
-				isMax = false
-			}
-			if k+d < n && s.Mag(k+d) >= m {
-				isMax = false
-			}
-		}
-		if !isMax {
-			continue
-		}
-		// Local neighborhood statistics (median, MAD) for the
-		// sharpness and excess tests.
-		neighborhood = neighborhood[:0]
-		for d := p.SharpGuard + 1; d <= p.SharpRadius; d++ {
-			if k-d >= 0 {
-				neighborhood = append(neighborhood, s.Mag(k-d))
-			}
-			if k+d < n {
-				neighborhood = append(neighborhood, s.Mag(k+d))
-			}
-		}
-		if len(neighborhood) > 0 {
-			local := medianFloat(neighborhood)
-			// Sharpness == 1 is the sentinel for "ratio test off".
-			if p.Sharpness != 1 && local > 0 && m < p.Sharpness*local {
-				continue
-			}
-			if p.ExcessSigma > 0 {
-				for i := range neighborhood {
-					neighborhood[i] = math.Abs(neighborhood[i] - local)
-				}
-				mad := medianFloat(neighborhood)
-				if floorGuard := 0.02 * local; mad < floorGuard {
-					mad = floorGuard
-				}
-				if m-local < p.ExcessSigma*mad {
-					continue
-				}
-			}
-		}
-		peaks = append(peaks, Peak{Bin: k, Freq: s.BinFreq(k), Val: s.Bins[k], Mag: m})
-	}
-	if p.MinRelToStrongest > 0 && len(peaks) > 1 {
-		var strongest float64
-		for _, pk := range peaks {
-			if pk.Mag > strongest {
-				strongest = pk.Mag
-			}
-		}
-		kept := peaks[:0]
-		for _, pk := range peaks {
-			if pk.Mag >= p.MinRelToStrongest*strongest {
-				kept = append(kept, pk)
-			}
-		}
-		peaks = kept
-	}
-	return peaks
+	out := make([]Peak, len(peaks))
+	copy(out, peaks)
+	return out
 }
 
 // medianFloat returns the median of x, reordering x in the process.

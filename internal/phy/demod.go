@@ -1,0 +1,117 @@
+package phy
+
+import "errors"
+
+// Errors returned by the pooled demodulator. They are bare sentinels —
+// no allocation per failure — because on the coherent-combining path a
+// CRC failure is the *common* case (§8: keep combining until the
+// checksum passes), hit once per query per in-flight decode.
+var (
+	// ErrShortEnvelope is returned when the envelope does not hold a
+	// full 256-bit frame at the given sample rate.
+	ErrShortEnvelope = errors.New("phy: envelope shorter than one frame")
+	// ErrLowSampleRate is returned when the sample rate is below one
+	// sample per chip.
+	ErrLowSampleRate = errors.New("phy: sample rate below one sample per chip")
+)
+
+// DemodScratch owns the receive-side chain's working buffers: chip
+// energies, soft bit decisions, and the packed payload bytes the CRC
+// runs over. The zero value is ready to use; it is not safe for
+// concurrent use. Demodulation decisions are bit-identical to the
+// allocating DemodulateFrame — same integrations, same comparisons,
+// same CRC — only the buffer lifetimes and the error surface differ
+// (bare sentinels instead of wrapped errors, a Frame value instead of
+// a pointer).
+type DemodScratch struct {
+	energy []float64 // per-chip integrated energy
+	bits   Bits      // soft Manchester decisions, FrameBits long
+	packed []byte    // packed payload for the CRC
+}
+
+// DemodulateFrame runs envelope → chip energies → Manchester decisions
+// → frame parse with CRC check, entirely in scratch buffers. The frame
+// is returned by value; on steady-state reuse the call allocates
+// nothing. Errors are the bare sentinels ErrLowSampleRate,
+// ErrShortEnvelope, ErrBadPreamble, and ErrBadCRC, so callers keep
+// using errors.Is exactly as with the allocating chain.
+func (ds *DemodScratch) DemodulateFrame(env []float64, sampleRate float64) (Frame, error) {
+	spc := SamplesPerChip(sampleRate)
+	if spc < 1 {
+		return Frame{}, ErrLowSampleRate
+	}
+	chips := FrameBits * ChipsPerBit
+	if len(env) < chips*spc {
+		return Frame{}, ErrShortEnvelope
+	}
+
+	if cap(ds.energy) < chips {
+		ds.energy = make([]float64, chips)
+	}
+	energy := ds.energy[:chips]
+	for c := 0; c < chips; c++ {
+		var sum float64
+		for s := 0; s < spc; s++ {
+			sum += env[c*spc+s]
+		}
+		energy[c] = sum
+	}
+
+	// DemodulateSoft's decision rule, chip pair by chip pair.
+	if cap(ds.bits) < FrameBits {
+		ds.bits = make(Bits, FrameBits)
+	}
+	bits := ds.bits[:FrameBits]
+	for b := 0; b < FrameBits; b++ {
+		if energy[ChipsPerBit*b] >= energy[ChipsPerBit*b+1] {
+			bits[b] = 1
+		} else {
+			bits[b] = 0
+		}
+	}
+
+	return ds.parseFrame(bits)
+}
+
+// parseFrame is DecodeFrame over scratch buffers: preamble check,
+// field extraction, CRC over the packed payload.
+func (ds *DemodScratch) parseFrame(bits Bits) (Frame, error) {
+	off := 0
+	pre := readBits(bits, off, PreambleBits)
+	off += PreambleBits
+	if uint16(pre) != Preamble {
+		return Frame{}, ErrBadPreamble
+	}
+	var f Frame
+	f.Programmable = readBits(bits, off, ProgrammableBits)
+	off += ProgrammableBits
+	f.Agency = uint16(readBits(bits, off, AgencyBits))
+	off += AgencyBits
+	f.Serial = readBits(bits, off, SerialBits)
+	off += SerialBits
+	f.Factory = readBits(bits, off, FactoryBits)
+	off += FactoryBits
+	f.Reserved = readBits(bits, off, ReservedBits)
+	off += ReservedBits
+	wantCRC := uint16(readBits(bits, off, CRCBits))
+	payload := bits[PreambleBits : PreambleBits+payloadBits]
+	if got := CRC16(ds.packInto(payload)); got != wantCRC {
+		return Frame{}, ErrBadCRC
+	}
+	return f, nil
+}
+
+// packInto packs a bit string whose length is a multiple of 8 into the
+// scratch byte buffer, MSB first — Bits.Pack without the allocation.
+func (ds *DemodScratch) packInto(b Bits) []byte {
+	n := len(b) / 8
+	if cap(ds.packed) < n {
+		ds.packed = make([]byte, n)
+	}
+	out := ds.packed[:n]
+	clear(out)
+	for i, bit := range b {
+		out[i/8] |= (bit & 1) << uint(7-i%8)
+	}
+	return out
+}

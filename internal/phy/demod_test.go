@@ -1,0 +1,105 @@
+package phy
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func scratchTestFrame(rng *rand.Rand) *Frame {
+	return &Frame{
+		Programmable: rng.Uint64() & (1<<ProgrammableBits - 1),
+		Agency:       uint16(rng.Uint32()),
+		Serial:       rng.Uint64() & (1<<SerialBits - 1),
+		Factory:      rng.Uint64(),
+		Reserved:     rng.Uint64() & (1<<ReservedBits - 1),
+	}
+}
+
+// TestDemodScratchMatchesDemodulateFrame: same envelope in, same frame
+// (or same sentinel classification) out as the allocating chain.
+func TestDemodScratchMatchesDemodulateFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var ds DemodScratch
+	const rate = 4e6
+	for trial := 0; trial < 10; trial++ {
+		f := scratchTestFrame(rng)
+		env, err := ModulateFrame(f, rate)
+		if err != nil {
+			t.Fatalf("modulate: %v", err)
+		}
+		// Perturb some trials: additive noise keeps decisions identical
+		// between the two chains as long as both see the same samples.
+		if trial%2 == 1 {
+			for i := range env {
+				env[i] += 0.3 * rng.NormFloat64()
+			}
+		}
+		want, wantErr := DemodulateFrame(env, rate)
+		got, gotErr := ds.DemodulateFrame(env, rate)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: oracle err %v, scratch err %v", trial, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if !errors.Is(wantErr, ErrBadCRC) && !errors.Is(wantErr, ErrBadPreamble) {
+				t.Fatalf("trial %d: unexpected oracle error %v", trial, wantErr)
+			}
+			if !errors.Is(gotErr, ErrBadCRC) && !errors.Is(gotErr, ErrBadPreamble) {
+				t.Fatalf("trial %d: scratch error %v not a demod sentinel", trial, gotErr)
+			}
+			continue
+		}
+		if got != *want {
+			t.Fatalf("trial %d: scratch frame %+v, oracle %+v", trial, got, *want)
+		}
+	}
+}
+
+// TestDemodScratchSentinels pins the error surface the decoder's hot
+// path depends on.
+func TestDemodScratchSentinels(t *testing.T) {
+	var ds DemodScratch
+	if _, err := ds.DemodulateFrame(make([]float64, 16), 4e6); !errors.Is(err, ErrShortEnvelope) {
+		t.Errorf("short envelope: got %v, want ErrShortEnvelope", err)
+	}
+	if _, err := ds.DemodulateFrame(make([]float64, 16), 1); !errors.Is(err, ErrLowSampleRate) {
+		t.Errorf("low rate: got %v, want ErrLowSampleRate", err)
+	}
+	env, err := ModulateFrame(scratchTestFrame(rand.New(rand.NewSource(1))), 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the payload: CRC must fail with the bare sentinel.
+	spc := SamplesPerChip(4e6)
+	for i := 0; i < 4*ChipsPerBit*spc; i++ {
+		env[(PreambleBits+20)*ChipsPerBit*spc+i] = 1 - env[(PreambleBits+20)*ChipsPerBit*spc+i]
+	}
+	if _, err := ds.DemodulateFrame(env, 4e6); err != ErrBadCRC {
+		t.Errorf("corrupted payload: got %v, want bare ErrBadCRC", err)
+	}
+}
+
+// TestDemodScratchSteadyStateAllocs: repeated demodulation through one
+// scratch allocates nothing, success or CRC failure alike.
+func TestDemodScratchSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	good, err := ModulateFrame(scratchTestFrame(rng), 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]float64(nil), good...)
+	for i := range bad[:len(bad)/2] {
+		bad[i] = 1 - bad[i]
+	}
+	var ds DemodScratch
+	ds.DemodulateFrame(good, 4e6)
+	for name, env := range map[string][]float64{"success": good, "crc-fail": bad} {
+		env := env
+		allocs := testing.AllocsPerRun(20, func() {
+			ds.DemodulateFrame(env, 4e6)
+		})
+		if allocs != 0 {
+			t.Errorf("%s path allocates %.1f objects/op, want 0", name, allocs)
+		}
+	}
+}

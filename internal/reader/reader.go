@@ -36,6 +36,7 @@ type Reader struct {
 
 	seq     uint32
 	scratch *rfsim.SynthScratch
+	analyze *core.Scratch
 }
 
 // Config bundles reader construction parameters.
@@ -124,7 +125,14 @@ func (r *Reader) Measure(devs []*transponder.Device, queries int, rng *rand.Rand
 		}
 		mcs = append(mcs, mc)
 	}
-	spikes, err := core.AnalyzeCapturesParallel(mcs, r.Params, r.workerCount())
+	if r.analyze == nil {
+		// Like the synthesis scratch: a reader measures strictly one
+		// epoch at a time, so one analysis scratch serves its lifetime.
+		// Spikes returned here are scratch-backed and valid until the
+		// next Measure; Report deep-copies what telemetry retains.
+		r.analyze = &core.Scratch{}
+	}
+	spikes, err := r.analyze.AnalyzeCaptures(mcs, r.Params, r.workerCount())
 	if err != nil {
 		return core.CountResult{}, err
 	}
@@ -177,10 +185,15 @@ func (r *Reader) Report(res core.CountResult, localTime time.Time) *telemetry.Re
 		Count:     res.Count,
 	}
 	for _, s := range res.Spikes {
+		// Deep-copy the channels: spikes from Measure are backed by the
+		// reader's analysis scratch and will be overwritten next epoch,
+		// while reports outlive it in the asynchronous uplink queue.
+		chans := make([]complex128, len(s.Channels))
+		copy(chans, s.Channels)
 		rep.Spikes = append(rep.Spikes, telemetry.SpikeRecord{
 			FreqHz:   s.Freq,
 			Multiple: s.Multiple,
-			Channels: s.Channels,
+			Channels: chans,
 		})
 	}
 	return rep

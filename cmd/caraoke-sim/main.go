@@ -12,14 +12,19 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"time"
 
+	"caraoke/internal/api"
 	"caraoke/internal/city"
 	"caraoke/internal/collector"
 	"caraoke/internal/faults"
@@ -41,6 +46,13 @@ func main() {
 	batch := flag.Int("batch", 1, "telemetry reports coalesced per uplink frame (1 = single-report frames)")
 	lockstep := flag.Bool("lockstep", false, "legacy global per-epoch barrier instead of per-reader pipelines (results identical; the determinism oracle)")
 	pipeline := flag.Int("pipeline", 0, "per-reader epoch lookahead in pipelined mode (0 = default depth; results identical for any value)")
+	partitions := flag.Int("partitions", 0, "collector partitions (0 or 1 = single collector; ≥2 = consistent-hash cluster; query answers identical for any count)")
+	killPartition := flag.Int("kill-partition", 0, "with -partitions ≥2 and -kill-at-seq: the partition the failover drill kills")
+	killAtSeq := flag.Int("kill-at-seq", 0, "kill -kill-partition once an uplink frame opens past this seq; its readers rehome to the ring successor (0 = no kill)")
+	serveAddr := flag.String("serve", "", "after the run, serve the HTTP query API on this address (e.g. :8080) with the clock frozen at the run's end")
+	loadtest := flag.Bool("loadtest", false, "after the run, drive the HTTP API with a seeded concurrent load test and print the summary JSON")
+	loadClients := flag.Int("loadtest-clients", 256, "with -loadtest: concurrent clients")
+	loadRequests := flag.Int("loadtest-requests", 0, "with -loadtest: total requests across all clients (0 = 100 × clients)")
 	chaos := flag.Bool("chaos", false, "switch on the failure model (seeded fault injection; same seed ⇒ identical loss/recovery stats)")
 	loss := flag.Float64("loss", 0.05, "with -chaos: per-frame probability an uplink frame is silently dropped")
 	killInterval := flag.Int("kill-interval", 25, "with -chaos: kill each uplink connection on every k-th frame (0 never)")
@@ -91,6 +103,7 @@ func main() {
 		Batch:          *batch,
 		Lockstep:       *lockstep,
 		Pipeline:       *pipeline,
+		Partitions:     *partitions,
 	}
 	if *chaos {
 		cfg.Chaos = city.Chaos{
@@ -99,6 +112,10 @@ func main() {
 			DriftPPM:    *driftPPM,
 			ResyncEvery: *resyncEvery,
 		}
+	}
+	if *killAtSeq > 0 {
+		cfg.Chaos.KillPartition = *killPartition
+		cfg.Chaos.KillAtSeq = *killAtSeq
 	}
 	start := time.Now()
 	res, err := city.Run(cfg)
@@ -109,6 +126,13 @@ func main() {
 
 	fmt.Printf("city: %d readers on %d intersections, %d vehicles (+%d parked), %d epochs (%s simulated) in %.1fs wall\n",
 		*readers, len(res.PerIntersection), *vehicles, *parked, res.Epochs, *duration, wall.Seconds())
+	if cl := res.Cluster; cl != nil {
+		fmt.Printf("cluster: %d partitions |", cl.NumPartitions())
+		for i := 0; i < cl.NumPartitions(); i++ {
+			fmt.Printf(" p%d: %d readers", i, cl.ReadersOn(i))
+		}
+		fmt.Println()
+	}
 	for _, ix := range res.PerIntersection {
 		fmt.Printf("intersection %d at (%.0f,%.0f): readers %v, %d reports, car-seconds %d, peak %d\n",
 			ix.Index, ix.X, ix.Y, ix.Readers, ix.Reports, ix.CarSeconds, ix.Peak)
@@ -138,10 +162,23 @@ func main() {
 			tot.Delivered, tot.Redelivered, tot.ClientDropped, tot.ReportsLost, tot.Received, tot.Deduped, tot.OfflineEpochs)
 	}
 
+	// Failover accounting: like the chaos stats, everything here is a
+	// pure function of the flags (the cut is keyed to report seqs), so
+	// same seed ⇒ identical lines — the CI failover smoke diffs them.
+	if f := res.Failover; f != nil {
+		fmt.Printf("failover: kill partition %d after seq %d: happened %v, %d readers rehomed\n",
+			f.Partition, *killAtSeq, f.Happened, len(f.Rehomed))
+		for _, id := range f.Rehomed {
+			fmt.Printf("failover reader %d: dead partition kept seqs 1..%d, successor took the rest\n",
+				id, f.DeadSeqs[id])
+		}
+		fmt.Printf("failover totals: reconnects %d redelivered %d\n", f.Reconnects, f.Redelivered)
+	}
+
 	fmt.Printf("decoded %d transponder ids\n", len(res.Decoded))
 	if len(res.Decoded) > 0 {
 		d := res.Decoded[0]
-		if sgt, ok := res.Store.FindCar(d.ID); ok {
+		if sgt, ok := res.Directory().FindCar(d.ID); ok {
 			fmt.Printf("find-my-car: id %#x last seen by reader %d at %s (CFO %.1f kHz)\n",
 				d.ID, sgt.ReaderID, sgt.Seen.Format("15:04:05"), sgt.FreqHz/1e3)
 		}
@@ -149,7 +186,7 @@ func main() {
 
 	// Speed service over reader pairs: any decoded car sighted at two
 	// poles yields a transit-time speed estimate (§7).
-	svc := collector.NewSpeedService(res.Store, *speedLimit)
+	svc := collector.NewSpeedService(res.Directory(), *speedLimit)
 	for id, pos := range res.Poles {
 		svc.RegisterReader(id, pos)
 	}
@@ -189,6 +226,71 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("parking: spot %d held by %#x, billed %s\n", spot, id, dur)
+		}
+	}
+
+	// The HTTP front end: -serve publishes the finished run's query
+	// surface; -loadtest hammers it with a seeded client fleet and
+	// prints the latency summary (the BENCH_9.json numbers). Both run
+	// with the clock frozen at the run's end so speed max-age filters
+	// operate in simulated time and answers stay deterministic.
+	if *serveAddr != "" || *loadtest {
+		park := collector.NewParkingService()
+		for spot, id := range res.ParkedSpots {
+			if err := park.Arrive(spot, id, res.Start); err != nil {
+				log.Fatal(err)
+			}
+		}
+		apiSrv := api.New(api.Config{
+			Directory: res.Directory(),
+			Speed:     svc,
+			Parking:   park,
+			Now:       func() time.Time { return res.End },
+		})
+
+		if *loadtest {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			hs := &http.Server{Handler: apiSrv}
+			go hs.Serve(ln)
+			var ids []uint64
+			var freqs []float64
+			for _, d := range res.Decoded {
+				ids = append(ids, d.ID)
+				freqs = append(freqs, d.FreqHz)
+			}
+			var spots []int
+			for spot := range res.ParkedSpots {
+				spots = append(spots, spot)
+			}
+			sort.Ints(spots)
+			sum, err := api.RunLoad(api.LoadConfig{
+				BaseURL:  "http://" + ln.Addr().String(),
+				Clients:  *loadClients,
+				Requests: *loadRequests,
+				Seed:     *seed,
+				CarIDs:   ids,
+				Freqs:    freqs,
+				Spots:    spots,
+			})
+			hs.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			js, err := json.Marshal(sum)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("loadtest summary: %s\n", js)
+			hits, misses := apiSrv.CacheStats()
+			fmt.Printf("loadtest cache: hits %d misses %d\n", hits, misses)
+		}
+
+		if *serveAddr != "" {
+			log.Printf("serving query API on %s (try /healthz, /car/{id}, /speed?freq=..., /parking)", *serveAddr)
+			log.Fatal(http.ListenAndServe(*serveAddr, apiSrv))
 		}
 	}
 }

@@ -1,0 +1,72 @@
+package api
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// cacheEntry is one materialized response: status and body stored
+// together, so a cached 404 replays as a 404.
+type cacheEntry struct {
+	status  int
+	body    []byte
+	expires time.Time
+}
+
+// ttlCache is the per-query response cache: bounded, TTL-expired, with
+// atomic hit/miss counters. Expiry compares against the clock the
+// Server injects, so simulated time works end to end. When the cache is
+// full of live entries a new key is simply served uncached — evicting a
+// hot entry to admit a cold one would be strictly worse under the
+// load-test's skewed key popularity.
+type ttlCache struct {
+	hits, misses atomic.Int64
+
+	mu      sync.Mutex
+	max     int
+	entries map[string]cacheEntry
+}
+
+func newTTLCache(max int) *ttlCache {
+	return &ttlCache{max: max, entries: make(map[string]cacheEntry)}
+}
+
+func (c *ttlCache) get(key string, now time.Time) (status int, body []byte, ok bool) {
+	c.mu.Lock()
+	e, found := c.entries[key]
+	if found && now.After(e.expires) {
+		delete(c.entries, key)
+		found = false
+	}
+	c.mu.Unlock()
+	if !found {
+		c.misses.Add(1)
+		return 0, nil, false
+	}
+	c.hits.Add(1)
+	return e.status, e.body, true
+}
+
+func (c *ttlCache) put(key string, status int, body []byte, expires time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; !exists && len(c.entries) >= c.max {
+		// Reclaim expired entries before refusing to grow.
+		for k, e := range c.entries {
+			if expires.After(e.expires) && len(c.entries) >= c.max {
+				delete(c.entries, k)
+			}
+		}
+		if len(c.entries) >= c.max {
+			return
+		}
+	}
+	c.entries[key] = cacheEntry{status: status, body: body, expires: expires}
+}
+
+func (c *ttlCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

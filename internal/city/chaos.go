@@ -11,6 +11,7 @@ package city
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"caraoke/internal/clock"
+	"caraoke/internal/cluster"
 	"caraoke/internal/collector"
 	"caraoke/internal/faults"
 	"caraoke/internal/telemetry"
@@ -48,6 +50,18 @@ type Chaos struct {
 	// sync accuracy (tens of ms, §6). 0 never resyncs: clocks wander
 	// for the whole run.
 	ResyncEvery int
+	// KillPartition and KillAtSeq arm a deterministic collector crash in
+	// a partitioned run (Config.Partitions ≥ 2): partition KillPartition
+	// stops ingesting from each homed reader once that reader's uplink
+	// crosses report sequence KillAtSeq, the reader rehomes to its ring
+	// successor, and its at-least-once client redelivers the cut frame
+	// there. Keying the kill to sequence numbers — never wall-clock —
+	// makes the crash, the reroute, and every recovery counter
+	// seed-reproducible. KillAtSeq ≤ 0 arms nothing. The kill alone does
+	// not make Chaos.Active() true: it loses no reports, so a
+	// failover-only run still drains over the lossless barrier.
+	KillPartition int
+	KillAtSeq     int
 }
 
 // Active reports whether any part of the failure model is switched on.
@@ -64,6 +78,9 @@ func (c Chaos) validate() error {
 	}
 	if c.DriftPPM < 0 || c.ResyncEvery < 0 {
 		return fmt.Errorf("city: drift %g ppm and resync interval %d must be non-negative", c.DriftPPM, c.ResyncEvery)
+	}
+	if c.KillPartition < 0 {
+		return fmt.Errorf("city: kill partition %d must be non-negative", c.KillPartition)
 	}
 	return nil
 }
@@ -103,13 +120,17 @@ type UplinkStats struct {
 // schedule, and the per-reader wire accounting harvested from injector
 // events. lost and dup are written under mu by the sender goroutines'
 // synchronous event callbacks and read only after the senders join.
+// They record the faulted reports' sequence numbers, not just counts:
+// in a partitioned run a seq localizes its loss or duplicate to the one
+// partition that owns it, which is what lets per-partition drain
+// barriers carry exact budgets instead of a global slop.
 type chaosRun struct {
 	inj   *faults.Injector
 	sched *faults.ChurnSchedule
 
 	mu   sync.Mutex
-	lost map[uint32]int // reports inside dropped frames (never arrived)
-	dup  map[uint32]int // reports inside killed frames (arrived, then resent)
+	lost map[uint32][]uint32 // seqs inside dropped frames (never arrived)
+	dup  map[uint32][]uint32 // seqs inside killed frames (arrived, then resent)
 }
 
 // newChaosRun builds the run's fault state, or returns nil when the
@@ -120,8 +141,8 @@ func newChaosRun(cfg Config, epochs int, ids []uint32) *chaosRun {
 	}
 	cr := &chaosRun{
 		sched: faults.NewChurnSchedule(cfg.Seed, ids, epochs, cfg.Chaos.ChurnRate),
-		lost:  make(map[uint32]int),
-		dup:   make(map[uint32]int),
+		lost:  make(map[uint32][]uint32),
+		dup:   make(map[uint32][]uint32),
 	}
 	fcfg := cfg.Chaos.Faults
 	fcfg.Seed = cfg.Seed
@@ -140,9 +161,9 @@ func newChaosRun(cfg Config, epochs int, ids []uint32) *chaosRun {
 		defer cr.mu.Unlock()
 		for _, r := range rs {
 			if ev.Kind == faults.Drop {
-				cr.lost[r.ReaderID]++
+				cr.lost[r.ReaderID] = append(cr.lost[r.ReaderID], r.Seq)
 			} else {
-				cr.dup[r.ReaderID]++
+				cr.dup[r.ReaderID] = append(cr.dup[r.ReaderID], r.Seq)
 			}
 		}
 	}
@@ -196,15 +217,109 @@ func (cr *chaosRun) drainTargets(posts []*post, clients []*collector.Client, epo
 		id := p.rd.ID
 		st := clients[i].Stats()
 		want[id] = uint32(cr.sched.ActiveEpochs(id, epochs))
-		budget[id] = cr.lost[id] + st.Dropped
-		copies[id] = st.Delivered - cr.lost[id] + cr.dup[id]
+		budget[id] = len(cr.lost[id]) + st.Dropped
+		copies[id] = st.Delivered - len(cr.lost[id]) + len(cr.dup[id])
 	}
 	return want, budget, copies
 }
 
+// countInRange counts the seqs in [lo, hi] (inclusive, duplicates
+// counted — a frame killed twice is two extra copies).
+func countInRange(seqs []uint32, lo, hi uint32) int {
+	n := 0
+	for _, s := range seqs {
+		if s >= lo && s <= hi {
+			n++
+		}
+	}
+	return n
+}
+
+// clusterDrain composes the gap-tolerant barriers of a partitioned
+// chaos run: each reader's expected seq set splits by partition
+// ownership (cluster.OwnershipSplit), and each partition waits only for
+// the distinct-count, loss-budget, and copy targets of the seq ranges
+// it owns. Every budget entry localizes by sequence number: the
+// injector event log records which seqs each dropped or killed frame
+// carried, a degraded client's give-ups are the contiguous tail of its
+// seq space (degradation is permanent and Close abandons only queued
+// reports), and a failover cut is a prefix split — so loss attributed
+// to a partition is exactly the loss that would have landed there.
+func (cr *chaosRun) clusterDrain(cl *cluster.Cluster, posts []*post, clients []*collector.Client, epochs int, timeout time.Duration) error {
+	nparts := cl.NumPartitions()
+	want := make([]map[uint32]uint32, nparts)
+	budget := make([]map[uint32]int, nparts)
+	copies := make([]map[uint32]int, nparts)
+	for i := range want {
+		want[i] = make(map[uint32]uint32)
+		budget[i] = make(map[uint32]int)
+		copies[i] = make(map[uint32]int)
+	}
+	cr.mu.Lock()
+	for i, p := range posts {
+		id := p.rd.ID
+		st := clients[i].Stats()
+		total := uint32(cr.sched.ActiveEpochs(id, epochs))
+		if total == 0 {
+			continue
+		}
+		deliveredHi := uint32(0)
+		if dropped := uint32(st.Dropped); dropped < total {
+			deliveredHi = total - dropped
+		}
+		for _, rg := range cl.OwnershipSplit(id, total) {
+			distinct := int(rg.Hi - rg.Lo + 1)
+			lostIn := countInRange(cr.lost[id], rg.Lo, rg.Hi)
+			dupIn := countInRange(cr.dup[id], rg.Lo, rg.Hi)
+			droppedIn := 0
+			if rg.Hi > deliveredHi {
+				lo := rg.Lo
+				if lo <= deliveredHi {
+					lo = deliveredHi + 1
+				}
+				droppedIn = int(rg.Hi - lo + 1)
+			}
+			want[rg.Part][id] = uint32(distinct)
+			budget[rg.Part][id] = lostIn + droppedIn
+			copies[rg.Part][id] = (distinct - droppedIn) - lostIn + dupIn
+		}
+	}
+	cr.mu.Unlock()
+
+	errs := make([]error, nparts)
+	var wg sync.WaitGroup
+	for i := 0; i < nparts; i++ {
+		if len(want[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := cl.Partition(i).Store
+			if err := st.WaitDelivered(want[i], budget[i], timeout); err != nil {
+				errs[i] = fmt.Errorf("city: partition %d: %w", i, err)
+				return
+			}
+			if err := st.WaitCopies(copies[i], timeout); err != nil {
+				errs[i] = fmt.Errorf("city: partition %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ingestCounts is the store-side vantage point the accounting reads —
+// satisfied by a single collector.Store and by a cluster.Cluster
+// (which sums across its partitions, dead ones included).
+type ingestCounts interface {
+	SeqsReceived(readerID uint32) int
+	Deduped(readerID uint32) int
+}
+
 // uplinkStats reconciles the final per-reader accounting for the
 // Result.
-func (cr *chaosRun) uplinkStats(posts []*post, clients []*collector.Client, store *collector.Store, epochs int) []UplinkStats {
+func (cr *chaosRun) uplinkStats(posts []*post, clients []*collector.Client, store ingestCounts, epochs int) []UplinkStats {
 	cr.mu.Lock()
 	defer cr.mu.Unlock()
 	out := make([]UplinkStats, len(posts))
@@ -219,7 +334,7 @@ func (cr *chaosRun) uplinkStats(posts []*post, clients []*collector.Client, stor
 			Reconnects:    st.Reconnects,
 			ClientDropped: st.Dropped,
 			FramesLost:    fs.Drops,
-			ReportsLost:   cr.lost[id],
+			ReportsLost:   len(cr.lost[id]),
 			Kills:         fs.Kills,
 			Received:      store.SeqsReceived(id),
 			Deduped:       store.Deduped(id),

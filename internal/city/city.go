@@ -33,11 +33,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net"
 	"sort"
 	"sync"
 	"time"
 
 	"caraoke/internal/clock"
+	"caraoke/internal/cluster"
 	"caraoke/internal/collector"
 	"caraoke/internal/geom"
 	"caraoke/internal/reader"
@@ -107,6 +109,14 @@ type Config struct {
 	// Shards is the collector store's shard count (default: the
 	// collector's DefaultShards). Results are identical for any value.
 	Shards int
+	// Partitions is the collector-tier process count. 0 or 1 runs the
+	// legacy single collector — byte-identical to a build without this
+	// field. ≥ 2 runs a partitioned tier (internal/cluster): readers
+	// home onto partitions by consistent-hashing their intersection's
+	// grid cell, uplinks route to the home partition, and queries merge
+	// across partitions. Merged query answers are identical for any
+	// partition count.
+	Partitions int
 	// Batch is how many telemetry reports a reader coalesces into one
 	// batch frame before flushing its uplink (default 1 = a single-
 	// report frame per epoch, the legacy wire behavior). Results are
@@ -209,6 +219,15 @@ func (c *Config) validate() error {
 	}
 	if c.Pipeline < 0 || c.DrainTimeout < 0 {
 		return fmt.Errorf("city: pipeline %d and drain timeout %v must be non-negative", c.Pipeline, c.DrainTimeout)
+	}
+	if c.Partitions < 0 {
+		return fmt.Errorf("city: partitions %d must be non-negative", c.Partitions)
+	}
+	if c.Chaos.KillAtSeq > 0 && c.Partitions < 2 {
+		return fmt.Errorf("city: killing a partition needs a partitioned run (partitions %d)", c.Partitions)
+	}
+	if c.Partitions >= 2 && c.Chaos.KillAtSeq > 0 && c.Chaos.KillPartition >= c.Partitions {
+		return fmt.Errorf("city: kill partition %d outside [0,%d)", c.Chaos.KillPartition, c.Partitions)
 	}
 	return c.Chaos.validate()
 }
@@ -487,15 +506,60 @@ type Result struct {
 	// ParkedSpots maps parking-spot index → occupant id, for spots
 	// whose occupant the readers managed to decode.
 	ParkedSpots map[int]uint64
-	// Store is the collector backend after ingest; Poles maps reader
-	// ids to road-plane positions (what a SpeedService needs).
+	// Store is the collector backend after ingest of a single-collector
+	// run; nil when the run was partitioned (see Cluster). Poles maps
+	// reader ids to road-plane positions (what a SpeedService needs).
 	Store      *collector.Store
 	Poles      map[uint32]geom.Vec2
 	Start, End time.Time
+	// Cluster is the partitioned collector tier of a Partitions ≥ 2 run
+	// — servers stopped, per-partition stores still queryable. Nil for
+	// a single-collector run.
+	Cluster *cluster.Cluster
 	// Uplinks is the per-reader delivery accounting of a chaos run —
 	// client, wire, store, and churn vantage points reconciled. Nil for
 	// a clean run.
 	Uplinks []UplinkStats
+	// Failover summarizes the partition kill of a run that armed one
+	// (Chaos.KillAtSeq > 0). Nil otherwise.
+	Failover *FailoverStats
+}
+
+// Directory returns the run's sighting query surface: the cluster's
+// merged query plane when the run was partitioned, the single store
+// otherwise. Services (SpeedService, the HTTP API) built on this work
+// unchanged over one collector or many.
+func (r *Result) Directory() collector.Directory {
+	if r.Cluster != nil {
+		return r.Cluster
+	}
+	return r.Store
+}
+
+// FailoverStats summarizes a run's armed partition kill: whether any
+// reader crossed the cut, who was rehomed where, and the recovery
+// counters. Everything here is a pure function of the seed — the cut
+// is keyed to report sequence numbers, so two runs with the same
+// configuration kill, reroute, and recover identically.
+type FailoverStats struct {
+	// Partition is the partition the plan targeted.
+	Partition int
+	// Happened reports whether some reader actually crossed the cut
+	// (a short run can end before any uplink passes KillAtSeq).
+	Happened bool
+	// Rehomed lists the readers moved to their ring successor, by id.
+	Rehomed []uint32
+	// DeadSeqs maps each rehomed reader to the last sequence number the
+	// dead partition owns — the recovery split per-partition drain
+	// barriers composed over.
+	DeadSeqs map[uint32]uint32
+	// Reconnects and Redelivered sum the rehomed readers' client-side
+	// recovery work: redials performed and reports rewritten after the
+	// cut. In a failover-only run (no injected faults) these count
+	// exactly the failover's cost; with faults injected they include
+	// injector-caused retries too.
+	Reconnects  int
+	Redelivered int
 }
 
 // epochJob is one epoch of work handed to a reader pipeline: the
@@ -520,15 +584,6 @@ type epochJob struct {
 // report has landed in the store (a per-reader sequence check, not a
 // global count).
 func (s *Sim) Run() (*Result, error) {
-	store := collector.NewShardedStore(s.cfg.Keep, s.cfg.Shards)
-	srv := collector.NewServer(store)
-	srv.Logf = func(string, ...any) {} // keep harness output clean
-	addr, err := srv.Start("127.0.0.1:0")
-	if err != nil {
-		return nil, fmt.Errorf("city: %w", err)
-	}
-	defer srv.Stop()
-
 	epochs := int(s.cfg.Duration / s.cfg.Epoch)
 	ids := make([]uint32, len(s.posts))
 	for i, p := range s.posts {
@@ -536,9 +591,48 @@ func (s *Sim) Run() (*Result, error) {
 	}
 	cr := newChaosRun(s.cfg, epochs, ids) // nil on the clean path
 
+	// Backend: one collector server, or a partitioned tier of them.
+	var (
+		store *collector.Store
+		cl    *cluster.Cluster
+		addr  string
+	)
+	if s.cfg.Partitions >= 2 {
+		var err error
+		cl, err = cluster.New(cluster.Config{
+			Partitions: s.cfg.Partitions,
+			Keep:       s.cfg.Keep,
+			Shards:     s.cfg.Shards,
+			Logf:       func(string, ...any) {}, // keep harness output clean
+		})
+		if err != nil {
+			return nil, fmt.Errorf("city: %w", err)
+		}
+		defer cl.Stop()
+		for _, p := range s.posts {
+			cl.Register(p.rd.ID, s.cellOf(p))
+		}
+		if s.cfg.Chaos.KillAtSeq > 0 {
+			plan := cluster.FailoverPlan{Partition: s.cfg.Chaos.KillPartition, AtSeq: uint32(s.cfg.Chaos.KillAtSeq)}
+			if err := cl.SetFailover(plan); err != nil {
+				return nil, fmt.Errorf("city: %w", err)
+			}
+		}
+	} else {
+		store = collector.NewShardedStore(s.cfg.Keep, s.cfg.Shards)
+		srv := collector.NewServer(store)
+		srv.Logf = func(string, ...any) {} // keep harness output clean
+		a, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("city: %w", err)
+		}
+		defer srv.Stop()
+		addr = a.String()
+	}
+
 	clients := make([]*collector.Client, len(s.posts))
 	for i, p := range s.posts {
-		c, err := cr.dial(p, addr.String())
+		c, err := s.dialUplink(cr, cl, p, addr)
 		if err != nil {
 			return nil, fmt.Errorf("city: uplink %d: %w", i, err)
 		}
@@ -546,6 +640,7 @@ func (s *Sim) Run() (*Result, error) {
 		clients[i] = c
 	}
 
+	var err error
 	if s.cfg.Lockstep {
 		err = s.runLockstep(cr, clients, epochs)
 	} else {
@@ -564,16 +659,46 @@ func (s *Sim) Run() (*Result, error) {
 	if timeout == 0 {
 		timeout = drainTimeout(epochs, len(s.posts))
 	}
-	if cr == nil {
+	if err := s.drain(cr, cl, store, clients, epochs, timeout); err != nil {
+		return nil, err
+	}
+	produced := 0
+	for _, p := range s.posts {
+		produced += p.reports
+	}
+	res := s.summarize(store, produced, epochs)
+	res.Cluster = cl
+	if cl != nil && s.cfg.Chaos.KillAtSeq > 0 {
+		res.Failover = s.failoverStats(cl, cr, clients, epochs)
+	}
+	if cr != nil {
+		var counts ingestCounts = store
+		if cl != nil {
+			counts = cl
+		}
+		res.Uplinks = cr.uplinkStats(s.posts, clients, counts, epochs)
+	}
+	return res, nil
+}
+
+// drain blocks until every uplinked report has landed in the run's
+// backend. Single collector: the legacy store barriers. Partitioned:
+// the cluster-wide composition — each reader's expected seq set splits
+// by partition ownership (a rehomed reader's pre-cut prefix barriers on
+// the dead partition's store, its suffix on the successor) and the
+// per-partition barriers run concurrently.
+func (s *Sim) drain(cr *chaosRun, cl *cluster.Cluster, store *collector.Store, clients []*collector.Client, epochs int, timeout time.Duration) error {
+	switch {
+	case cl == nil && cr == nil:
 		// Clean path: lossless, so the exact high-water barrier holds.
 		want := make(map[uint32]uint32, len(s.posts))
 		for _, p := range s.posts {
 			want[p.rd.ID] = uint32(epochs)
 		}
 		if err := store.WaitHighWater(want, timeout); err != nil {
-			return nil, fmt.Errorf("city: %w", err)
+			return fmt.Errorf("city: %w", err)
 		}
-	} else {
+	case cl == nil:
 		// Chaos path: injected loss makes an exact barrier a guaranteed
 		// hang, so drain gap-tolerantly — distinct reports up to the
 		// accounted loss budget — then wait for every wire copy
@@ -581,21 +706,99 @@ func (s *Sim) Run() (*Result, error) {
 		// reproducible before anyone reads them.
 		want, budget, copies := cr.drainTargets(s.posts, clients, epochs)
 		if err := store.WaitDelivered(want, budget, timeout); err != nil {
-			return nil, fmt.Errorf("city: %w", err)
+			return fmt.Errorf("city: %w", err)
 		}
 		if err := store.WaitCopies(copies, timeout); err != nil {
-			return nil, fmt.Errorf("city: %w", err)
+			return fmt.Errorf("city: %w", err)
+		}
+	case cr == nil:
+		// Partitioned, lossless (possibly with a failover cut, which
+		// loses nothing: pre-cut frames land on the dead partition,
+		// post-cut frames are redelivered to the successor). The cluster
+		// splits the high-water barrier by seq ownership.
+		want := make(map[uint32]uint32, len(s.posts))
+		for _, p := range s.posts {
+			want[p.rd.ID] = uint32(epochs)
+		}
+		if err := cl.WaitHighWater(want, timeout); err != nil {
+			return fmt.Errorf("city: %w", err)
+		}
+	default:
+		// Partitioned chaos: per-partition gap-tolerant barriers with
+		// seq-localized loss and duplicate budgets.
+		if err := cr.clusterDrain(cl, s.posts, clients, epochs, timeout); err != nil {
+			return err
 		}
 	}
-	produced := 0
-	for _, p := range s.posts {
-		produced += p.reports
+	return nil
+}
+
+// cellOf returns the grid-cell key a reader homes by: its
+// intersection's column/row on the street grid. Both readers of an
+// intersection share the key, so co-located readers share a home
+// collector by construction.
+func (s *Sim) cellOf(p *post) string {
+	return fmt.Sprintf("cell-%d-%d", p.intersection%s.gw, p.intersection/s.gw)
+}
+
+// dialUplink opens one reader's uplink against the run's backend. On a
+// cluster the dial resolves the reader's current home on every
+// (re)connect — that re-resolution is the failover mechanism: a rehomed
+// reader's redial lands on the ring successor. Layering is client →
+// failover guard → fault injector → TCP, so a cut frame is never
+// charged to the injector's loss accounting and an injector-killed
+// frame retries against the same home until the cut is actually
+// crossed.
+func (s *Sim) dialUplink(cr *chaosRun, cl *cluster.Cluster, p *post, addr string) (*collector.Client, error) {
+	if cl == nil {
+		return cr.dial(p, addr)
 	}
-	res := s.summarize(store, produced, epochs)
+	id := p.rd.ID
+	dial := func() (net.Conn, error) {
+		return net.DialTimeout("tcp", cl.AddrFor(id), 5*time.Second)
+	}
 	if cr != nil {
-		res.Uplinks = cr.uplinkStats(s.posts, clients, store, epochs)
+		dial = cr.inj.WrapDial(fmt.Sprintf("reader-%d", id), dial)
 	}
-	return res, nil
+	return collector.DialFunc(func() (net.Conn, error) {
+		conn, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		return cl.GuardConn(id, conn), nil
+	})
+}
+
+// failoverStats reconciles the partition-kill summary after the drain.
+func (s *Sim) failoverStats(cl *cluster.Cluster, cr *chaosRun, clients []*collector.Client, epochs int) *FailoverStats {
+	plan, ok := cl.Plan()
+	if !ok {
+		return nil
+	}
+	fs := &FailoverStats{Partition: plan.Partition, DeadSeqs: make(map[uint32]uint32)}
+	_, fs.Happened = cl.KilledPartition()
+	fs.Rehomed = cl.Rehomed()
+	rehomed := make(map[uint32]bool, len(fs.Rehomed))
+	for _, id := range fs.Rehomed {
+		rehomed[id] = true
+	}
+	for i, p := range s.posts {
+		id := p.rd.ID
+		if !rehomed[id] {
+			continue
+		}
+		total := uint32(epochs)
+		if cr != nil && cr.sched != nil {
+			total = uint32(cr.sched.ActiveEpochs(id, epochs))
+		}
+		if split := cl.OwnershipSplit(id, total); len(split) == 2 {
+			fs.DeadSeqs[id] = split[0].Hi
+		}
+		st := clients[i].Stats()
+		fs.Reconnects += st.Reconnects
+		fs.Redelivered += st.Redelivered
+	}
+	return fs
 }
 
 // drainTimeout is the default end-of-run ingest deadline: a floor for

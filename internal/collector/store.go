@@ -221,6 +221,12 @@ func (s *Store) addToShard(r *telemetry.Report) {
 // find-my-car index, keeping the latest sighting per transponder id.
 // idMu is taken once per report, and not at all for the common report
 // with no decoded spikes.
+//
+// Ties on the timestamp resolve to the smaller reader id (sightingWins)
+// rather than to whichever report happened to be ingested first, so the
+// index is a pure function of the report set — the property that lets a
+// partitioned collector tier merge per-partition indexes and land on
+// exactly the answer one global store would give.
 func (s *Store) indexSightings(r *telemetry.Report) {
 	locked := false
 	for i := range r.Spikes {
@@ -232,13 +238,27 @@ func (s *Store) indexSightings(r *telemetry.Report) {
 			s.idMu.Lock()
 			locked = true
 		}
-		if prev, ok := s.byID[sp.DecodedID]; !ok || r.Timestamp.After(prev.Seen) {
-			s.byID[sp.DecodedID] = CarSighting{ReaderID: r.ReaderID, Seen: r.Timestamp, FreqHz: sp.FreqHz}
+		cand := CarSighting{ReaderID: r.ReaderID, Seen: r.Timestamp, FreqHz: sp.FreqHz}
+		if prev, ok := s.byID[sp.DecodedID]; !ok || SightingWins(cand, prev) {
+			s.byID[sp.DecodedID] = cand
 		}
 	}
 	if locked {
 		s.idMu.Unlock()
 	}
+}
+
+// SightingWins reports whether sighting a beats sighting b as "the
+// latest sighting" of a transponder: later timestamps win, and ties
+// break on the smaller reader id. It is the single ordering rule shared
+// by the store's index and any cross-partition merge over several
+// stores, which is what keeps find-my-car answers independent of how
+// many collectors the reports were split across.
+func SightingWins(a, b CarSighting) bool {
+	if !a.Seen.Equal(b.Seen) {
+		return a.Seen.After(b.Seen)
+	}
+	return a.ReaderID < b.ReaderID
 }
 
 // HighWater returns the largest Report.Seq ingested from a reader
@@ -537,6 +557,22 @@ func (s *Store) DecodedIDAt(freq, tol float64) uint64 {
 		}
 	}
 	return best
+}
+
+// SightingsSnapshot returns a copy of the transponder-id → latest-
+// sighting index. It is the raw material a multi-collector query router
+// merges: per-id maxima under SightingWins folded across partitions
+// equal the index one global store would have built, so answers that
+// depend on "the latest sighting of id X" (DecodedIDAt's tolerance
+// filter, find-my-car) stay partition-count independent.
+func (s *Store) SightingsSnapshot() map[uint64]CarSighting {
+	s.idMu.RLock()
+	defer s.idMu.RUnlock()
+	out := make(map[uint64]CarSighting, len(s.byID))
+	for id, sgt := range s.byID {
+		out[id] = sgt
+	}
+	return out
 }
 
 // SightingsByCFO returns, for each reader, its most recent spike whose

@@ -68,31 +68,61 @@ func (sc *Scratch) AnalyzeCaptures(mcs []*rfsim.MultiCapture, p Params, workers 
 		workers = 1
 	}
 	sc.growWorkers(workers)
-	// Root-mean-square magnitude spectrum across queries. Spectrum rows
-	// are index-addressed, so whichever worker's cached plan computes a
-	// row, the bits are the same.
+	sc.plan.Radix2 = p.Radix2FFT
+	for w := range sc.workers {
+		sc.workers[w].plan.Radix2 = p.Radix2FFT
+	}
+	// Root-mean-square magnitude spectrum across queries. Each worker
+	// runs the batched SpectrumManyInto over one static contiguous chunk
+	// of captures, amortizing the plan lookup and keeping the stage
+	// tables cache-resident across its whole slice. Spectrum rows are
+	// index-addressed, so the bits are the same at any worker count.
 	for len(sc.specs) < len(mcs) {
 		sc.specs = append(sc.specs, dsp.Spectrum{})
 	}
 	specs := sc.specs[:len(mcs)]
-	parallelForWorkers(len(mcs), workers, func(w, i int) {
-		sc.workers[w].plan.SpectrumInto(&specs[i], mcs[i].Antennas[0], p.SampleRate)
-	})
+	views := grow(sc.views, len(mcs))
+	sc.views = views
+	for i, mc := range mcs {
+		views[i] = mc.Antennas[0]
+	}
+	if workers <= 1 {
+		// Closure-free serial path: the literal below escapes into
+		// goroutines, so merely constructing it would heap-allocate
+		// even when it ends up called inline.
+		sc.workers[0].plan.SpectrumManyInto(specs, views, p.SampleRate)
+	} else {
+		// Capture the rate, not p: p's address is taken elsewhere, so
+		// naming it here would capture it by reference and move the
+		// whole Params to the heap on every call, serial path included.
+		rate := p.SampleRate
+		parallelChunksWorkers(len(mcs), workers, func(w, lo, hi int) {
+			sc.workers[w].plan.SpectrumManyInto(specs[lo:hi], views[lo:hi], rate)
+		})
+	}
+	for i := range views {
+		views[i] = nil // don't pin the captures past this call
+	}
 	acc := grow(sc.acc, n)
 	sc.acc = acc
 	clear(acc)
 	for qi := range specs {
-		for k, v := range specs[qi].Bins {
-			re, im := real(v), imag(v)
-			acc[k] += re*re + im*im
+		// The fused transform already produced |X[k]|² for every bin
+		// (the same re·re+im·im this loop used to recompute).
+		for k, pw := range specs[qi].Pows {
+			acc[k] += pw
 		}
 	}
 	sc.avg.SampleRate = p.SampleRate
 	sc.avg.Bins = grow(sc.avg.Bins, n)
+	sc.avg.Mags = grow(sc.avg.Mags, n)
+	sc.avg.Pows = sc.avg.Pows[:0] // not maintained for the synthetic average
 	avg := &sc.avg
 	inv := 1 / float64(len(mcs))
 	for k, pw := range acc {
-		avg.Bins[k] = complex(math.Sqrt(pw*inv), 0)
+		m := math.Sqrt(pw * inv)
+		avg.Bins[k] = complex(m, 0)
+		avg.Mags[k] = m
 	}
 
 	// On a K-query-averaged spectrum the floor is smooth (variance
@@ -120,92 +150,25 @@ func (sc *Scratch) AnalyzeCaptures(mcs []*rfsim.MultiCapture, p Params, workers 
 	sc.results = results
 	keep := grow(sc.keep, len(peaks))
 	sc.keep = keep
-	parallelForWorkers(len(peaks), workers, func(w, pi int) {
-		ws := &sc.workers[w]
-		keep[pi] = false
-		pk := peaks[pi]
-		// Median refined frequency across captures.
-		freqs := ws.freqs[:0]
-		for _, mc := range mcs {
-			freqs = append(freqs, dsp.RefineFreq(mc.Antennas[0], p.SampleRate, pk))
+	sc.job = peakJob{
+		mcs:       mcs,
+		p:         p,
+		peaks:     peaks,
+		last:      last,
+		binW:      binW,
+		strongest: strongest,
+		nAnt:      nAnt,
+		n:         n,
+	}
+	if workers <= 1 {
+		// Closure-free serial path — see the spectrum stage above.
+		for pi := range peaks {
+			sc.refinePeak(0, pi)
 		}
-		ws.freqs = freqs
-		sort.Float64s(freqs)
-		freq := freqs[len(freqs)/2]
-
-		s := Spike{
-			Freq:     freq,
-			Bin:      pk.Bin,
-			Mag:      pk.Mag,
-			Channels: chans[pi*nAnt : (pi+1)*nAnt : (pi+1)*nAnt],
-		}
-		scale := complex(2/float64(n), 0)
-		for a, stream := range last.Antennas {
-			s.Channels[a] = dsp.Goertzel(stream, freq/p.SampleRate) * scale
-		}
-		// Vote over the per-capture occupancy tests. Oscillator phases
-		// re-randomize between queries, so a pair invisible in one
-		// query beats in others; per-capture detection falls in large
-		// collisions, while the per-capture false-positive rate stays
-		// low — hence a 40 % quorum rather than a strict majority.
-		votes := 0
-		for _, mc := range mcs {
-			if ws.plan.ClassifyBin(mc.Antennas[0], p.SampleRate, freq, p.Occupancy) == dsp.OccupancyMultiple {
-				votes++
-			}
-		}
-		s.Multiple = 10*votes >= 4*len(mcs)
-		// Shoulder test: the DFT of a lone carrier has an exact null
-		// ±1 bin from its refined frequency, while a second tone merged
-		// into the same peak fills that null. RMS-average across
-		// captures (CFOs are fixed; only phases change), with the
-		// threshold raised above the collision floor for weak spikes.
-		if !s.Multiple {
-			var c2, s2 float64
-			for _, mc := range mcs {
-				st := mc.Antennas[0]
-				c := cmplx.Abs(dsp.Goertzel(st, freq/p.SampleRate))
-				lo := cmplx.Abs(dsp.Goertzel(st, (freq-binW)/p.SampleRate))
-				hi := cmplx.Abs(dsp.Goertzel(st, (freq+binW)/p.SampleRate))
-				c2 += c * c
-				if lo > hi {
-					s2 += lo * lo
-				} else {
-					s2 += hi * hi
-				}
-			}
-			if c2 > 0 {
-				shoulder := math.Sqrt(s2 / c2)
-				// The expected shoulder of a lone carrier is set by
-				// the local collision floor (max of two Rayleigh draws
-				// ≈ 1.3× the per-bin level); require 2× headroom above
-				// it before declaring a merged companion.
-				local := localFloorInto(avg, pk.Bin, &ws.vals)
-				thresh := 0.45
-				if adaptive := 2.6 * local / math.Sqrt(c2/float64(len(mcs))); adaptive > thresh {
-					thresh = adaptive
-				}
-				if shoulder > thresh {
-					s.Multiple = true
-				}
-			}
-		}
-		// Tone-purity vote for weak spikes that look single: a carrier
-		// is pure in every capture; a data-floor maximum is not.
-		if !s.Multiple && pk.Mag < p.PurityMaxRel*strongest && p.PurityMin > 0 {
-			pure := 0
-			for _, mc := range mcs {
-				if purity(mc.Antennas[0], p.SampleRate, freq, binW) >= p.PurityMin {
-					pure++
-				}
-			}
-			if pure*2 <= len(mcs) {
-				return
-			}
-		}
-		results[pi] = s
-		keep[pi] = true
-	})
+	} else {
+		parallelForWorkers(len(peaks), workers, sc.refinePeak)
+	}
+	sc.job = peakJob{} // don't pin the captures past this call
 	spikes := sc.spikes[:0]
 	for pi := range results {
 		if keep[pi] {
@@ -215,6 +178,117 @@ func (sc *Scratch) AnalyzeCaptures(mcs []*rfsim.MultiCapture, p Params, workers 
 	suppressResolvedNeighbors(spikes, binW, p.Occupancy.WindowFrac)
 	sc.spikes = spikes
 	return spikes, nil
+}
+
+// peakJob carries the shared inputs of the per-peak refinement stage so
+// both the serial loop and the parallel fan-out reach them through the
+// Scratch pointer alone. (A closure capturing these as locals would be
+// heap-allocated per call — it escapes into worker goroutines — even
+// when the serial path ends up invoking it inline.)
+type peakJob struct {
+	mcs       []*rfsim.MultiCapture
+	p         Params
+	peaks     []dsp.Peak
+	last      *rfsim.MultiCapture
+	binW      float64
+	strongest float64
+	nAnt      int
+	n         int
+}
+
+// refinePeak runs the full per-peak chain — median refined frequency,
+// channel estimates, occupancy vote, shoulder test, purity vote — for
+// peak pi on worker w's scratch, writing into sc.results/sc.keep slot
+// pi. Inputs come from sc.job; see peakJob.
+func (sc *Scratch) refinePeak(w, pi int) {
+	job := &sc.job
+	ws := &sc.workers[w]
+	mcs := job.mcs
+	p := &job.p
+	sc.keep[pi] = false
+	pk := job.peaks[pi]
+	// Median refined frequency across captures.
+	freqs := ws.freqs[:0]
+	for _, mc := range mcs {
+		freqs = append(freqs, dsp.RefineFreq(mc.Antennas[0], p.SampleRate, pk))
+	}
+	ws.freqs = freqs
+	sort.Float64s(freqs)
+	freq := freqs[len(freqs)/2]
+
+	nAnt := job.nAnt
+	s := Spike{
+		Freq:     freq,
+		Bin:      pk.Bin,
+		Mag:      pk.Mag,
+		Channels: sc.chans[pi*nAnt : (pi+1)*nAnt : (pi+1)*nAnt],
+	}
+	scale := complex(2/float64(job.n), 0)
+	for a, stream := range job.last.Antennas {
+		s.Channels[a] = dsp.Goertzel(stream, freq/p.SampleRate) * scale
+	}
+	// Vote over the per-capture occupancy tests. Oscillator phases
+	// re-randomize between queries, so a pair invisible in one
+	// query beats in others; per-capture detection falls in large
+	// collisions, while the per-capture false-positive rate stays
+	// low — hence a 40 % quorum rather than a strict majority.
+	votes := 0
+	for _, mc := range mcs {
+		if ws.plan.ClassifyBin(mc.Antennas[0], p.SampleRate, freq, p.Occupancy) == dsp.OccupancyMultiple {
+			votes++
+		}
+	}
+	s.Multiple = 10*votes >= 4*len(mcs)
+	// Shoulder test: the DFT of a lone carrier has an exact null
+	// ±1 bin from its refined frequency, while a second tone merged
+	// into the same peak fills that null. RMS-average across
+	// captures (CFOs are fixed; only phases change), with the
+	// threshold raised above the collision floor for weak spikes.
+	if !s.Multiple {
+		var c2, s2 float64
+		for _, mc := range mcs {
+			st := mc.Antennas[0]
+			c := cmplx.Abs(dsp.Goertzel(st, freq/p.SampleRate))
+			lo := cmplx.Abs(dsp.Goertzel(st, (freq-job.binW)/p.SampleRate))
+			hi := cmplx.Abs(dsp.Goertzel(st, (freq+job.binW)/p.SampleRate))
+			c2 += c * c
+			if lo > hi {
+				s2 += lo * lo
+			} else {
+				s2 += hi * hi
+			}
+		}
+		if c2 > 0 {
+			shoulder := math.Sqrt(s2 / c2)
+			// The expected shoulder of a lone carrier is set by
+			// the local collision floor (max of two Rayleigh draws
+			// ≈ 1.3× the per-bin level); require 2× headroom above
+			// it before declaring a merged companion.
+			local := localFloorInto(&sc.avg, pk.Bin, &ws.vals)
+			thresh := 0.45
+			if adaptive := 2.6 * local / math.Sqrt(c2/float64(len(mcs))); adaptive > thresh {
+				thresh = adaptive
+			}
+			if shoulder > thresh {
+				s.Multiple = true
+			}
+		}
+	}
+	// Tone-purity vote for weak spikes that look single: a carrier
+	// is pure in every capture; a data-floor maximum is not.
+	if !s.Multiple && pk.Mag < p.PurityMaxRel*job.strongest && p.PurityMin > 0 {
+		pure := 0
+		for _, mc := range mcs {
+			if purity(mc.Antennas[0], p.SampleRate, freq, job.binW) >= p.PurityMin {
+				pure++
+			}
+		}
+		if pure*2 <= len(mcs) {
+			return
+		}
+	}
+	sc.results[pi] = s
+	sc.keep[pi] = true
 }
 
 // localFloorInto estimates the collision floor near bin k as the median

@@ -51,6 +51,38 @@ func parallelForWorkers(n, workers int, fn func(worker, i int)) {
 	wg.Wait()
 }
 
+// parallelChunksWorkers splits [0, n) into one contiguous chunk per
+// worker and runs fn(worker, lo, hi) for each non-empty chunk, chunk w
+// on worker w. Unlike the work-stealing parallelForWorkers, the
+// worker→range assignment is static and deterministic — the shape the
+// batched SpectrumManyInto stage wants, since a worker amortizes plan
+// lookups and table touches across its whole contiguous slice. Results
+// must be index-addressed for determinism, as with parallelForWorkers.
+func parallelChunksWorkers(n, workers int, fn func(worker, lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			if lo < hi {
+				fn(w, lo, hi)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
 // AnalyzeCapturesParallel is AnalyzeCaptures with the two hot stages —
 // the per-capture FFTs and the per-peak refinement/occupancy chain —
 // fanned out across a worker pool. Results are merged in index order,

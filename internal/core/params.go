@@ -62,6 +62,13 @@ type Params struct {
 	// Sparse tunes the sparse transform when SparseDetect is on; the
 	// zero value uses dsp.DefaultSparseFFTParams.
 	Sparse dsp.SparseFFTParams
+	// Radix2FFT routes every dense transform in the analysis chain
+	// through the retained radix-2 reference FFT kernel instead of the
+	// radix-4 production kernel (dsp.Plan.Radix2). The kernels agree to
+	// a few ULPs and produce identical decisions on the reference
+	// scenarios; this is the escape hatch if a platform's floating
+	// point ever disagrees. Off by default.
+	Radix2FFT bool
 	// RelaxedSharpness enables a second, lower-sharpness peak sweep.
 	// In large collisions the aggregate data floor rises with √m and a
 	// genuine carrier may clear its local neighborhood by less than

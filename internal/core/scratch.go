@@ -29,6 +29,7 @@ type Scratch struct {
 	spec dsp.Spectrum // single-capture spectrum
 
 	specs []dsp.Spectrum // per-capture spectra (multi-query averaging)
+	views [][]complex128 // per-capture sample views for the batched FFT stage (cleared after use)
 	acc   []float64      // power accumulator across captures
 	avg   dsp.Spectrum   // RMS-averaged spectrum
 
@@ -40,6 +41,8 @@ type Scratch struct {
 	spikes   []Spike      // result buffer
 	results  []Spike      // per-peak slots for the parallel merge
 	keep     []bool       // which slots survived
+
+	job peakJob // shared inputs of the per-peak stage (cleared after use)
 
 	workers []workerScratch
 }

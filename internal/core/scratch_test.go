@@ -256,26 +256,28 @@ func TestSparseDetectFindsStrongSpikes(t *testing.T) {
 	}
 }
 
-// allocBudgets mirrors the alloc_budget section of BENCH_8.json: the
+// allocBudgets mirrors the alloc_budget section of BENCH_10.json: the
 // checked-in steady-state allocation ceilings CI enforces.
 type allocBudgets struct {
 	AllocBudget struct {
-		AnalyzeCapture float64 `json:"analyze_capture_allocs_per_op"`
-		TryDecode      float64 `json:"try_decode_allocs_per_op"`
+		AnalyzeCapture  float64 `json:"analyze_capture_allocs_per_op"`
+		AnalyzeCaptures float64 `json:"analyze_captures_allocs_per_op"`
+		TryDecode       float64 `json:"try_decode_allocs_per_op"`
 	} `json:"alloc_budget"`
 }
 
 // TestAllocBudget is the CI regression gate for the perf trajectory:
 // steady-state allocations must not regress above the ceilings checked
-// in with BENCH_8.json.
+// in with BENCH_10.json (which carries the PR 8 ceilings forward and
+// adds the warmed multi-query path).
 func TestAllocBudget(t *testing.T) {
-	raw, err := os.ReadFile("../../BENCH_8.json")
+	raw, err := os.ReadFile("../../BENCH_10.json")
 	if err != nil {
 		t.Fatalf("reading alloc budget baseline: %v", err)
 	}
 	var b allocBudgets
 	if err := json.Unmarshal(raw, &b); err != nil {
-		t.Fatalf("parsing BENCH_8.json: %v", err)
+		t.Fatalf("parsing BENCH_10.json: %v", err)
 	}
 	s := newTestScene(t, 4028)
 	mc := s.collide(s.placedDevices(10))
@@ -287,6 +289,16 @@ func TestAllocBudget(t *testing.T) {
 		sc.AnalyzeCapture(mc, s.param)
 	}); got > b.AllocBudget.AnalyzeCapture {
 		t.Errorf("AnalyzeCapture: %.1f allocs/op exceeds checked-in budget %.1f", got, b.AllocBudget.AnalyzeCapture)
+	}
+	mcs := s.collideQueries(s.placedDevices(10), 6)
+	var scq Scratch
+	if _, err := scq.AnalyzeCaptures(mcs, s.param, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(10, func() {
+		scq.AnalyzeCaptures(mcs, s.param, 1)
+	}); got > b.AllocBudget.AnalyzeCaptures {
+		t.Errorf("AnalyzeCaptures: %.1f allocs/op exceeds checked-in budget %.1f", got, b.AllocBudget.AnalyzeCaptures)
 	}
 	dec := NewDecoder(s.param.SampleRate, 987e3)
 	if err := dec.Add(mc.Reference()); err != nil {

@@ -53,6 +53,7 @@ func (sc *Scratch) AnalyzeCapture(mc *rfsim.MultiCapture, p Params) ([]Spike, er
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty capture")
 	}
+	sc.plan.Radix2 = p.Radix2FFT
 	// The tentative set survives from the previous call; empty it
 	// without allocating. It is only ever populated by the relaxed
 	// sweep below (a nil map reads as empty).

@@ -10,24 +10,66 @@ import "math"
 // The direct complex-phasor recurrence is used instead of the classical
 // real-coefficient Goertzel filter: for complex baseband input the phasor
 // form is just as cheap and numerically cleaner for fractional bins.
+//
+// The loop factors the phasor out of groups of four samples:
+// Σ_{j<4} x[t+j]·w·stepʲ = w·(x[t] + step·x[t+1] + step²·x[t+2] +
+// step³·x[t+3]). The naive recurrence costs two complex multiplies per
+// sample (the product and the phasor advance); the grouped form costs
+// five per four samples (three inner products, one by w, one step⁴
+// advance) — fewer multiplies through the CPU's multiply port, and the
+// loop-carried w chain advances once per group instead of once per
+// sample, so its latency hides under the independent inner products.
+// This reorders the summation, so results agree with the scalar
+// recurrence only to rounding error — within the sub-bin agreement
+// bounds the tests assert against direct DFT evaluation.
 func Goertzel(x []complex128, f float64) complex128 {
-	// Phase-accumulated rotation: multiply by a constant step each
-	// sample. We periodically renormalize the phasor to counter drift.
 	s, c := math.Sincos(-2 * math.Pi * f)
 	step := complex(c, s)
+	n := len(x)
+	if n < 16 {
+		w := complex(1, 0)
+		var sum complex128
+		for _, v := range x {
+			sum += v * w
+			w *= step
+		}
+		return sum
+	}
+	step2 := step * step
+	step3 := step2 * step
+	step4 := step2 * step2
 	w := complex(1, 0)
 	var sum complex128
-	for t, v := range x {
-		sum += v * w
-		w *= step
-		if t&1023 == 1023 {
+	t := 0
+	for t < n {
+		// Process one renormalization block: 1024 samples (a multiple
+		// of 4, so only the final block has a scalar tail).
+		end := t + 1024
+		if end > n {
+			end = n
+		}
+		limit := t + (end-t)&^3
+		for ; t < limit; t += 4 {
+			v := x[t] + step*x[t+1] + step2*x[t+2] + step3*x[t+3]
+			sum += w * v
+			w *= step4
+		}
+		for ; t < end; t++ {
+			sum += x[t] * w
+			w *= step
+		}
+		if t < n {
 			// Renormalize |w| to 1 to prevent magnitude drift over
 			// long inputs.
-			mag := math.Hypot(real(w), imag(w))
-			w = complex(real(w)/mag, imag(w)/mag)
+			w = renormPhasor(w)
 		}
 	}
 	return sum
+}
+
+func renormPhasor(w complex128) complex128 {
+	mag := math.Hypot(real(w), imag(w))
+	return complex(real(w)/mag, imag(w)/mag)
 }
 
 // GoertzelWindow evaluates the DFT of x[start:start+length] at normalized

@@ -3,7 +3,6 @@ package dsp
 import (
 	"fmt"
 	"math"
-	"math/cmplx"
 )
 
 // Plan is a per-worker DSP scratch: it caches FFT twiddle/bit-reversal
@@ -25,6 +24,15 @@ import (
 // owned by the plan and are valid only until its next call; callers
 // that retain them must copy.
 type Plan struct {
+	// Radix2 routes every transform this plan runs through the retained
+	// radix-2 reference kernel instead of the radix-4 production kernel.
+	// It is the platform escape hatch behind core Params.Radix2FFT: the
+	// two kernels agree to a few ULPs (asserted in tests), but if a
+	// platform's decisions ever disagree, flipping this restores the
+	// pre-overhaul arithmetic exactly. The FFTPlan tables themselves are
+	// shared and immutable; the flag lives here, per worker.
+	Radix2 bool
+
 	ffts  map[int]*FFTPlan
 	blues map[int]*bluesteinPlan
 
@@ -39,13 +47,15 @@ type Plan struct {
 // are retained across calls.
 func NewPlan() *Plan { return &Plan{} }
 
-// fftPlan returns the cached power-of-two plan for length n, creating
-// it on first use.
+// fftPlan returns the power-of-two plan for length n. The plan-local
+// map is a lock-free fast path over the process-wide registry, so
+// workers share one immutable table set per length instead of each
+// building their own.
 func (pl *Plan) fftPlan(n int) *FFTPlan {
 	if p, ok := pl.ffts[n]; ok {
 		return p
 	}
-	p, err := NewFFTPlan(n)
+	p, err := cachedPlan(n)
 	if err != nil {
 		panic(fmt.Sprintf("dsp: %v", err))
 	}
@@ -82,33 +92,95 @@ func (pl *Plan) FFTInto(dst, src []complex128) {
 		return
 	}
 	if n&(n-1) == 0 {
-		pl.fftPlan(n).Transform(dst, src)
+		p := pl.fftPlan(n)
+		if pl.Radix2 {
+			p.transformRadix2(dst, src)
+			return
+		}
+		p.Transform(dst, src)
 		return
 	}
-	pl.bluePlan(n).forward(dst, src)
+	pl.bluePlan(n).forward(dst, src, pl.Radix2)
 }
 
 // SpectrumInto computes the spectrum of a capture into s, reusing
-// s.Bins when its capacity suffices. The result is bit-identical to
-// NewSpectrum(samples, sampleRate).
+// s.Bins when its capacity suffices, and fills the s.Mags/s.Pows
+// derived caches in the same pass: power-of-two lengths write them
+// from the final butterfly stage while the outputs are still in
+// registers, Bluestein lengths from the final unchirp loop. Bins are
+// bit-identical to NewSpectrum(samples, sampleRate), and the caches
+// equal math.Sqrt(binPow(bin)) / binPow(bin) exactly.
 func (pl *Plan) SpectrumInto(s *Spectrum, samples []complex128, sampleRate float64) {
+	n := len(samples)
 	s.SampleRate = sampleRate
-	s.Bins = growComplexSlice(s.Bins, len(samples))
-	pl.FFTInto(s.Bins, samples)
+	s.Bins = growComplexSlice(s.Bins, n)
+	s.Mags = growFloatSlice(s.Mags, n)
+	s.Pows = growFloatSlice(s.Pows, n)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) == 0 {
+		if !pl.Radix2 {
+			pl.fftPlan(n).transformSpectrum(s.Bins, s.Mags, s.Pows, samples)
+			return
+		}
+		pl.fftPlan(n).transformRadix2(s.Bins, samples)
+		fillMagsPows(s.Mags, s.Pows, s.Bins)
+		return
+	}
+	pl.bluePlan(n).forwardSpectrum(s.Bins, s.Mags, s.Pows, samples, pl.Radix2)
+}
+
+// SpectrumManyInto computes one spectrum per capture, the batched
+// detection-path entry point: the FFT plan is resolved once per run of
+// equal-length captures (instead of one map probe per capture) and the
+// stage-major twiddle tables stay cache-resident from one capture to
+// the next. Each specs[i] gets the identical result SpectrumInto would
+// produce for captures[i]. len(specs) must equal len(captures).
+func (pl *Plan) SpectrumManyInto(specs []Spectrum, captures [][]complex128, sampleRate float64) {
+	if len(specs) != len(captures) {
+		panic(fmt.Sprintf("dsp: SpectrumManyInto specs length %d, captures length %d", len(specs), len(captures)))
+	}
+	var fp *FFTPlan
+	for i, samples := range captures {
+		n := len(samples)
+		if n == 0 || n&(n-1) != 0 || pl.Radix2 {
+			pl.SpectrumInto(&specs[i], samples, sampleRate)
+			continue
+		}
+		s := &specs[i]
+		s.SampleRate = sampleRate
+		s.Bins = growComplexSlice(s.Bins, n)
+		s.Mags = growFloatSlice(s.Mags, n)
+		s.Pows = growFloatSlice(s.Pows, n)
+		if fp == nil || fp.n != n {
+			fp = pl.fftPlan(n)
+		}
+		fp.transformSpectrum(s.Bins, s.Mags, s.Pows, samples)
+	}
+}
+
+// fillMagsPows is the unfused magnitude sweep for paths that cannot
+// fuse into a butterfly stage (the radix-2 fallback kernel). Values are
+// identical to the fused stores: the same binPow/Sqrt per bin.
+func fillMagsPows(mags, pows []float64, bins []complex128) {
+	for k, v := range bins {
+		pw := binPow(v)
+		pows[k] = pw
+		mags[k] = math.Sqrt(pw)
+	}
 }
 
 // NoiseFloor is the pooled equivalent of Spectrum.NoiseFloor: the
-// median bin magnitude, computed in plan-owned scratch.
+// median bin magnitude. Both share one magnitude sweep
+// (Spectrum.magsInto), which reuses the fused s.Mags cache when valid;
+// only the sort scratch differs — plan-owned here, allocated there.
 func (pl *Plan) NoiseFloor(s *Spectrum) float64 {
-	n := len(s.Bins)
-	if n == 0 {
+	if len(s.Bins) == 0 {
 		return 0
 	}
-	sorted := growFloatSlice(&pl.sorted, n)
-	for i := range s.Bins {
-		sorted[i] = cmplx.Abs(s.Bins[i])
-	}
-	return medianFloat(sorted)
+	pl.sorted = s.magsInto(pl.sorted)
+	return medianFloat(pl.sorted)
 }
 
 // FindPeaks is the pooled equivalent of the package-level FindPeaks:
@@ -142,14 +214,22 @@ func (pl *Plan) FindPeaks(s *Spectrum, p PeakParams) []Peak {
 			limit = n
 		}
 	}
-	// Per-bin magnitudes, computed once: cmplx.Abs of the same bin is
-	// pure, so caching is value-identical to the oracle's on-demand
-	// s.Mag calls.
-	mags := growFloatSlice(&pl.mags, n)
-	for i := range s.Bins {
-		mags[i] = cmplx.Abs(s.Bins[i])
+	// Per-bin magnitudes: the fused s.Mags cache is used directly when
+	// valid (it holds exactly math.Sqrt(binPow(bin)), the same value
+	// computed here), so a SpectrumInto-produced spectrum pays no
+	// magnitude sweep at all.
+	var mags []float64
+	if len(s.Mags) == n {
+		mags = s.Mags
+	} else {
+		pl.mags = growFloatSlice(pl.mags, n)
+		mags = pl.mags
+		for i, v := range s.Bins {
+			mags[i] = math.Sqrt(binPow(v))
+		}
 	}
-	sorted := growFloatSlice(&pl.sorted, n)
+	pl.sorted = growFloatSlice(pl.sorted, n)
+	sorted := pl.sorted
 	copy(sorted, mags)
 	floor := medianFloat(sorted)
 	cut := floor * p.Threshold
@@ -237,7 +317,8 @@ func (pl *Plan) ClassifyBin(samples []complex128, sampleRate, freqHz float64, p 
 type bluesteinPlan struct {
 	n     int
 	chirp []complex128 // e^{-πi k²/n}
-	fb    []complex128 // FFT of the kernel sequence b
+	fb    []complex128 // FFT of the kernel sequence b (radix-4 kernel)
+	fbR2  []complex128 // same, computed by the radix-2 reference kernel
 	a     []complex128 // work: chirp-premultiplied, zero-padded input
 	fa    []complex128 // work: forward FFT / convolution result
 	fft   *FFTPlan     // power-of-two plan of the padded length m
@@ -265,16 +346,21 @@ func newBluesteinPlan(n int) *bluesteinPlan {
 			b[m-k] = cc
 		}
 	}
-	fft, err := NewFFTPlan(m)
+	fft, err := cachedPlan(m)
 	if err != nil {
 		panic(fmt.Sprintf("dsp: %v", err))
 	}
 	fb := make([]complex128, m)
 	fft.Transform(fb, b)
+	// The radix-2 escape hatch must reproduce the pre-overhaul
+	// arithmetic exactly, which includes the kernel table itself.
+	fbR2 := make([]complex128, m)
+	fft.transformRadix2(fbR2, b)
 	return &bluesteinPlan{
 		n:     n,
 		chirp: chirp,
 		fb:    fb,
+		fbR2:  fbR2,
 		a:     make([]complex128, m),
 		fa:    make([]complex128, m),
 		fft:   fft,
@@ -283,18 +369,50 @@ func newBluesteinPlan(n int) *bluesteinPlan {
 
 // forward evaluates the forward DFT of src into dst, reusing the
 // cached tables. dst and src must both have length n and not alias.
-func (bp *bluesteinPlan) forward(dst, src []complex128) {
+// radix2 routes the internal power-of-two transforms through the
+// reference kernel (the Plan.Radix2 escape hatch).
+func (bp *bluesteinPlan) forward(dst, src []complex128, radix2 bool) {
+	bp.convolve(src, radix2)
+	for k := 0; k < bp.n; k++ {
+		dst[k] = bp.fa[k] * bp.chirp[k]
+	}
+}
+
+// forwardSpectrum is forward with the magnitude/power stores fused
+// into the final unchirp loop — the Bluestein arm of the fused
+// SpectrumInto pass. Bins are identical to forward's.
+func (bp *bluesteinPlan) forwardSpectrum(dst []complex128, mags, pows []float64, src []complex128, radix2 bool) {
+	bp.convolve(src, radix2)
+	for k := 0; k < bp.n; k++ {
+		v := bp.fa[k] * bp.chirp[k]
+		dst[k] = v
+		pw := binPow(v)
+		pows[k] = pw
+		mags[k] = math.Sqrt(pw)
+	}
+}
+
+// convolve runs the shared chirp-premultiply → FFT → kernel product →
+// inverse FFT steps, leaving the convolution result in bp.fa.
+func (bp *bluesteinPlan) convolve(src []complex128, radix2 bool) {
 	for k := 0; k < bp.n; k++ {
 		bp.a[k] = src[k] * bp.chirp[k]
 	}
 	clear(bp.a[bp.n:])
-	bp.fft.Transform(bp.fa, bp.a)
-	for i := range bp.fa {
-		bp.fa[i] *= bp.fb[i]
+	fb := bp.fb
+	if radix2 {
+		fb = bp.fbR2
+		bp.fft.transformRadix2(bp.fa, bp.a)
+	} else {
+		bp.fft.Transform(bp.fa, bp.a)
 	}
-	bp.fft.Inverse(bp.fa, bp.fa)
-	for k := 0; k < bp.n; k++ {
-		dst[k] = bp.fa[k] * bp.chirp[k]
+	for i := range bp.fa {
+		bp.fa[i] *= fb[i]
+	}
+	if radix2 {
+		bp.fft.inverseRadix2(bp.fa, bp.fa)
+	} else {
+		bp.fft.Inverse(bp.fa, bp.fa)
 	}
 }
 
@@ -307,13 +425,14 @@ func growComplexSlice(x []complex128, n int) []complex128 {
 	return x[:n]
 }
 
-// growFloatSlice resizes *x to length n in place, reusing the backing
-// array when possible, and returns the resized slice.
-func growFloatSlice(x *[]float64, n int) []float64 {
-	if cap(*x) < n {
-		*x = make([]float64, n)
-	} else {
-		*x = (*x)[:n]
+// growFloatSlice returns x resized to length n, reusing its backing
+// array when the capacity suffices. Contents are unspecified. The
+// signature mirrors growComplexSlice — value in, value out; callers
+// reassign — rather than the old pointer+return hybrid, which let one
+// call site keep a stale alias of a reallocated buffer.
+func growFloatSlice(x []float64, n int) []float64 {
+	if cap(x) < n {
+		return make([]float64, n)
 	}
-	return *x
+	return x[:n]
 }

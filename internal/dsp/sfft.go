@@ -129,19 +129,20 @@ type sfftCandidate struct {
 func bucketCandidates(residual []complex128, sampleRate float64, buckets int, threshold float64) ([]sfftCandidate, float64) {
 	n := len(residual)
 	stride := n / buckets
-	plan, _ := NewFFTPlan(buckets)
+	plan, _ := cachedPlan(buckets)
 	z := make([]complex128, 3*buckets)
 	for j := 0; j < buckets; j++ {
 		z[j] = residual[j*stride]
 		z[buckets+j] = residual[j*stride+1]
 		z[2*buckets+j] = residual[j*stride+2]
 	}
-	f0 := make([]complex128, buckets)
-	f1 := make([]complex128, buckets)
-	f2 := make([]complex128, buckets)
-	plan.Transform(f0, z[:buckets])
-	plan.Transform(f1, z[buckets:2*buckets])
-	plan.Transform(f2, z[2*buckets:])
+	// The three offset streams are contiguous frames of z; one batched
+	// call transforms them with a single table walk-up.
+	f := make([]complex128, 3*buckets)
+	plan.TransformMany(f, z)
+	f0 := f[:buckets]
+	f1 := f[buckets : 2*buckets]
+	f2 := f[2*buckets:]
 
 	// Off-grid tones leak into every bucket, inflating the median; the
 	// lower quartile is a robust floor for the sparse case.

@@ -15,6 +15,15 @@ import (
 type Spectrum struct {
 	Bins       []complex128
 	SampleRate float64 // samples per second of the originating capture
+
+	// Mags and Pows are derived caches of |Bins[k]| and |Bins[k]|²,
+	// filled by the fused transform pass in Plan.SpectrumInto. Each is
+	// valid if and only if its length equals len(Bins); code that
+	// mutates Bins must either refresh or truncate them. Mag, Power,
+	// NoiseFloor, and Plan.FindPeaks consult the caches before
+	// recomputing.
+	Mags []float64
+	Pows []float64
 }
 
 // NewSpectrum computes the spectrum of a capture via the dense FFT.
@@ -43,33 +52,47 @@ func (s *Spectrum) FreqBin(freq float64) int {
 	return k
 }
 
-// Mag returns the magnitude of bin k.
-func (s *Spectrum) Mag(k int) float64 { return cmplx.Abs(s.Bins[k]) }
+// Mag returns the magnitude of bin k, from the fused cache when valid.
+func (s *Spectrum) Mag(k int) float64 {
+	if len(s.Mags) == len(s.Bins) {
+		return s.Mags[k]
+	}
+	return math.Sqrt(binPow(s.Bins[k]))
+}
 
-// Power returns the squared magnitude of bin k.
+// Power returns the squared magnitude of bin k, from the fused cache
+// when valid.
 func (s *Spectrum) Power(k int) float64 {
-	re, im := real(s.Bins[k]), imag(s.Bins[k])
-	return re*re + im*im
+	if len(s.Pows) == len(s.Bins) {
+		return s.Pows[k]
+	}
+	return binPow(s.Bins[k])
+}
+
+// magsInto fills dst (grown to len(Bins)) with the bin magnitudes,
+// copying from the fused cache when valid. It is the one magnitude
+// sweep both NoiseFloor implementations share, so the planless method
+// and the pooled Plan path cannot drift apart.
+func (s *Spectrum) magsInto(dst []float64) []float64 {
+	dst = growFloatSlice(dst, len(s.Bins))
+	if len(s.Mags) == len(s.Bins) {
+		copy(dst, s.Mags)
+		return dst
+	}
+	for i, v := range s.Bins {
+		dst[i] = math.Sqrt(binPow(v))
+	}
+	return dst
 }
 
 // NoiseFloor estimates the noise magnitude level as the median bin
 // magnitude. The transponder spikes are sparse (a handful of bins out of
 // thousands), so the median is a robust noise statistic even during a
-// large collision.
+// large collision. This planless method allocates a scratch magnitude
+// slice per call; hot paths should use Plan.NoiseFloor, which pools the
+// scratch and shares this implementation.
 func (s *Spectrum) NoiseFloor() float64 {
-	mags := make([]float64, len(s.Bins))
-	for i := range s.Bins {
-		mags[i] = cmplx.Abs(s.Bins[i])
-	}
-	sort.Float64s(mags)
-	n := len(mags)
-	if n == 0 {
-		return 0
-	}
-	if n%2 == 1 {
-		return mags[n/2]
-	}
-	return 0.5 * (mags[n/2-1] + mags[n/2])
+	return medianFloat(s.magsInto(nil))
 }
 
 // String summarizes the spectrum for debugging.
